@@ -1,0 +1,292 @@
+// Package bench is the benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (run them all with
+// `go test -bench=. -benchmem`), plus ablation benchmarks for the design
+// choices DESIGN.md calls out — interpreted vs generated monitors, coupled
+// vs decoupled property checking, and the cost of persisting monitor state
+// on every event.
+//
+// Each FigureN benchmark regenerates that figure's full data series per
+// iteration, so ns/op is the cost of reproducing the experiment; the
+// figures themselves are printed once under -v via the b.Logf calls.
+package bench
+
+import (
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/codegen"
+	"github.com/tinysystems/artemis-go/internal/codegen/gen"
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/experiments"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/mayfly"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{NonTermReboots: 60}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFigure12(rows)
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFigure13(res)
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure14(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFigure14(rows)
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure15(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFigure15(rows)
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure16(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFigure16(rows)
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderTable2(rows)
+	}
+	b.Logf("\n%s", out)
+}
+
+// BenchmarkSingleRunArtemis measures one complete benchmark-application run
+// under ARTEMIS on continuous power — the unit of every figure above.
+func BenchmarkSingleRunArtemis(b *testing.B) {
+	benchmarkSingleRun(b, core.Artemis)
+}
+
+// BenchmarkSingleRunMayfly is the baseline counterpart.
+func BenchmarkSingleRunMayfly(b *testing.B) {
+	benchmarkSingleRun(b, core.Mayfly)
+}
+
+func benchmarkSingleRun(b *testing.B, sys core.System) {
+	for i := 0; i < b.N; i++ {
+		app := health.New()
+		cfg := core.Config{
+			System:     sys,
+			Graph:      app.Graph,
+			StoreKeys:  health.Keys(),
+			SpecSource: health.SpecSource,
+			Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
+		}
+		if sys == core.Mayfly {
+			cfg.Constraints = mayfly.HealthConstraints()
+		}
+		f, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := f.Run()
+		if err != nil || !rep.Completed {
+			b.Fatalf("run failed: %v %+v", err, rep)
+		}
+	}
+}
+
+// benchEvents is a representative event stream over the benchmark alphabet.
+func benchEvents(n int) []ir.Event {
+	tasks := []string{"bodyTemp", "calcAvg", "accel", "send", "micSense"}
+	evs := make([]ir.Event, n)
+	for i := range evs {
+		kind := ir.EvStart
+		if i%2 == 1 {
+			kind = ir.EvEnd
+		}
+		evs[i] = ir.Event{
+			Kind: kind,
+			Task: tasks[i%len(tasks)],
+			Time: simclock.Time(simclock.Duration(i) * simclock.Second),
+			Path: 1 + i%3,
+			Data: 36.5,
+		}
+	}
+	return evs
+}
+
+// BenchmarkAblationInterpretedMonitor measures monitor event processing
+// through the IR interpreter (the deployment default).
+func BenchmarkAblationInterpretedMonitor(b *testing.B) {
+	res, err := health.New().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	envs := make([]*ir.VolatileEnv, len(res.Program.Machines))
+	for i, m := range res.Program.Machines {
+		envs[i] = ir.NewVolatileEnv(m)
+	}
+	evs := benchEvents(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := evs[i%len(evs)]
+		for mi, m := range res.Program.Machines {
+			if _, err := ir.Step(m, envs[mi], ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGeneratedMonitor measures the same event processing
+// through the generated Go monitors (the paper's compiled-C analogue),
+// quantifying what code generation buys over interpretation.
+func BenchmarkAblationGeneratedMonitor(b *testing.B) {
+	steppers := gen.NewProgram()
+	evs := benchEvents(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := evs[i%len(evs)]
+		for _, s := range steppers {
+			s.Step(ev)
+		}
+	}
+}
+
+// BenchmarkAblationPersistentMonitor measures event delivery with monitor
+// state in (simulated) FRAM with per-event atomic commits — the full
+// power-failure-resilient path — against the volatile baselines above.
+func BenchmarkAblationPersistentMonitor(b *testing.B) {
+	res, err := health.New().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := nvm.New(256 * 1024)
+	set, err := monitor.NewSet(mem, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set.Reset()
+	evs := benchEvents(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := monitor.Event{Event: evs[i%len(evs)], Seq: uint64(i) + 1}
+		if _, err := set.Deliver(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCoupledCheck measures Mayfly-style inline property
+// checking (one coupled pass over the constraint list), the architecture
+// the paper argues against; compare with the decoupled monitor benchmarks.
+func BenchmarkAblationCoupledCheck(b *testing.B) {
+	app := health.New()
+	constraints := mayfly.HealthConstraints()
+	names := app.Graph.TaskNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := names[i%len(names)]
+		n := 0
+		for _, c := range constraints {
+			if c.Task == name {
+				n++
+			}
+		}
+		_ = n
+	}
+}
+
+// BenchmarkSpecCompile measures the generator pipeline front half:
+// specification parse + validation + lowering to IR machines.
+func BenchmarkSpecCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := health.New().Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodegen measures the model-to-text back half: IR to Go source.
+func BenchmarkCodegen(b *testing.B) {
+	res, err := health.New().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(res.Program, "monitors"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThreadedMonitor measures the ImmortalThreads-style
+// continuation dispatch (one persistent program-counter write per machine
+// per event) against the commit/replay dispatch of
+// BenchmarkAblationPersistentMonitor.
+func BenchmarkAblationThreadedMonitor(b *testing.B) {
+	res, err := health.New().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := nvm.New(256 * 1024)
+	set, err := monitor.NewSet(mem, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := monitor.NewThreadedSet(mem, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts.Reset()
+	evs := benchEvents(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := monitor.Event{Event: evs[i%len(evs)], Seq: uint64(i) + 1}
+		if _, err := ts.Deliver(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

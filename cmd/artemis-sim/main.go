@@ -1,0 +1,207 @@
+// Command artemis-sim runs the wearable health-monitoring benchmark on the
+// simulated intermittent device and reports what happened: completion or
+// non-termination, timing, energy, decisions, and memory footprints.
+//
+//	artemis-sim                          # ARTEMIS, continuous power
+//	artemis-sim -charging 6m             # 800 µJ boots, 6-minute recharges
+//	artemis-sim -system mayfly -charging 6m
+//	artemis-sim -temp 39.2               # feverish patient: completePath fires
+//	artemis-sim -harvest 5e-6            # physical capacitor + 5 µW harvester
+//	artemis-sim -show-ir                 # print the generated monitor machines
+//	artemis-sim -app camera -rounds 6    # the Camaroptera-style camera node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/camera"
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/mayfly"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "artemis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("artemis-sim", flag.ContinueOnError)
+	var (
+		appName  = fs.String("app", "health", "application: health or camera")
+		system   = fs.String("system", "artemis", "runtime: artemis or mayfly")
+		charging = fs.String("charging", "", "charging delay (e.g. 6m, 90s); empty = continuous power")
+		budget   = fs.Float64("budget", 800, "usable energy per boot in µJ (with -charging)")
+		harvest  = fs.Float64("harvest", 0, "harvested power in watts; selects the physical capacitor model")
+		temp     = fs.Float64("temp", 36.6, "simulated body temperature")
+		rounds   = fs.Int("rounds", 1, "application rounds")
+		reboots  = fs.Int("reboots", 200, "reboot budget before declaring non-termination")
+		showIR   = fs.Bool("show-ir", false, "print the generated monitor state machines")
+		verbose  = fs.Bool("v", false, "log every decision and reboot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Rounds:     *rounds,
+		MaxReboots: *reboots,
+		Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
+	}
+	var outputKeys []string
+	switch *appName {
+	case "health":
+		app := health.NewWithTemp(*temp)
+		cfg.Graph = app.Graph
+		cfg.StoreKeys = health.Keys()
+		cfg.SpecSource = health.SpecSource
+		outputKeys = []string{"sentCount", "tempCount", "avgTemp", "heartRate"}
+	case "camera":
+		cfg.SpecSource = camera.SpecSource
+		cfg.StoreKeys = camera.Keys()
+		cfg.BuildApp = func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error) {
+			app, err := camera.New(mem, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return app.Graph, []task.Persistent{app.Chunks}, nil
+		}
+		outputKeys = []string{"frames", "chunksMade", "chunksSent", "classification"}
+	default:
+		return fmt.Errorf("unknown -app %q (want health or camera)", *appName)
+	}
+	switch *system {
+	case "artemis":
+		cfg.System = core.Artemis
+	case "mayfly":
+		if *appName != "health" {
+			return fmt.Errorf("the Mayfly baseline supports only -app health")
+		}
+		cfg.System = core.Mayfly
+		cfg.Constraints = mayfly.HealthConstraints()
+	default:
+		return fmt.Errorf("unknown -system %q (want artemis or mayfly)", *system)
+	}
+
+	switch {
+	case *harvest > 0:
+		cfg.Supply = core.SupplyConfig{
+			Kind:         core.SupplyHarvested,
+			CapacitanceF: 220e-6, VMax: 5.0, VOn: 3.2, VOff: 1.8,
+			HarvestW: *harvest,
+		}
+	case *charging != "":
+		d, err := simclock.ParseDuration(*charging)
+		if err != nil {
+			return err
+		}
+		cfg.Supply = core.SupplyConfig{Kind: core.SupplyFixedDelay, BudgetUJ: *budget, Delay: d}
+	}
+	if *verbose {
+		cfg.OnDecision = func(ev monitor.Event, d monitor.Decision) {
+			fmt.Fprintf(w, "t=%-12s %v(%s): %v by %s (path %d)\n",
+				trace.FormatDuration(simclock.Duration(ev.Time)), ev.Kind, ev.Task, d.Action, d.Machine, d.Path)
+		}
+	}
+
+	f, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *showIR && f.CompiledIR() != nil {
+		fmt.Fprintln(w, f.CompiledIR().String())
+	}
+	if *verbose {
+		f.OnReboot(func(n int, off simclock.Duration) {
+			fmt.Fprintf(w, "power failure #%d: charging for %s\n", n, trace.FormatDuration(off))
+		})
+	}
+
+	rep, err := f.Run()
+	if err != nil {
+		return err
+	}
+	printReport(w, f, rep, outputKeys)
+	return nil
+}
+
+func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []string) {
+	fmt.Fprintf(w, "system:     %v\n", rep.System)
+	switch {
+	case rep.NonTerminated:
+		fmt.Fprintf(w, "outcome:    NON-TERMINATION after %d reboots\n", rep.Reboots)
+	case rep.Completed:
+		fmt.Fprintf(w, "outcome:    completed\n")
+	default:
+		fmt.Fprintf(w, "outcome:    failed\n")
+	}
+	fmt.Fprintf(w, "elapsed:    %s (active %s, %d reboots)\n",
+		trace.FormatDuration(rep.Elapsed), trace.FormatDuration(rep.Active), rep.Reboots)
+	fmt.Fprintf(w, "energy:     %s\n", trace.FormatJoules(float64(rep.Energy)))
+	fmt.Fprintf(w, "breakdown:  app %s, runtime %s, monitor %s\n",
+		trace.FormatDuration(rep.Breakdown[device.CompApp].Time),
+		trace.FormatDuration(rep.Breakdown[device.CompRuntime].Time),
+		trace.FormatDuration(rep.Breakdown[device.CompMonitor].Time))
+	if st := rep.ArtemisStats; st != nil {
+		fmt.Fprintf(w, "decisions:  restarts=%d(path)/%d(task) skips=%d(path)/%d(task) complete=%d\n",
+			st.PathRestarts, st.TaskRestarts, st.PathSkips, st.TaskSkips, st.PathComplete)
+		for _, a := range []action.Action{action.RestartPath, action.SkipPath, action.SkipTask, action.CompletePath} {
+			if n := st.Decisions[a]; n > 0 {
+				fmt.Fprintf(w, "            %v ×%d\n", a, n)
+			}
+		}
+	}
+	if st := rep.MayflyStats; st != nil {
+		fmt.Fprintf(w, "decisions:  pathRestarts=%d taskRuns=%d\n", st.PathRestarts, st.TaskRuns)
+	}
+	fmt.Fprintf(w, "fram:       ")
+	for i, owner := range sortedOwners(rep.Footprints) {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%s=%dB", owner, rep.Footprints[owner])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "fram wear:  ")
+	for i, owner := range sortedOwners(rep.Footprints) {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%s=%dB", owner, rep.Wear[owner])
+	}
+	fmt.Fprintln(w)
+	st := f.Store()
+	fmt.Fprintf(w, "outputs:    ")
+	for i, key := range outputKeys {
+		if i > 0 {
+			fmt.Fprintf(w, " ")
+		}
+		fmt.Fprintf(w, "%s=%.2f", key, st.Get(key))
+	}
+	fmt.Fprintln(w)
+}
+
+func sortedOwners(m map[string]int) []string {
+	owners := make([]string, 0, len(m))
+	for o := range m {
+		owners = append(owners, o)
+	}
+	for i := 1; i < len(owners); i++ {
+		for j := i; j > 0 && owners[j] < owners[j-1]; j-- {
+			owners[j], owners[j-1] = owners[j-1], owners[j]
+		}
+	}
+	return owners
+}

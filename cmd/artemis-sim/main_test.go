@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestContinuousArtemis(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"ARTEMIS", "completed", "sentCount=3.00", "tempCount=10.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIntermittentArtemisVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-charging", "6m", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"power failure #", "restartPath", "skipPath", "completed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMayflyNonTermination(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "mayfly", "-charging", "6m", "-reboots", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NON-TERMINATION") {
+		t.Errorf("output missing non-termination:\n%s", out.String())
+	}
+}
+
+func TestFeverCompletePath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-temp", "39.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completePath ×1") || !strings.Contains(s, "sentCount=1.00") {
+		t.Errorf("fever scenario wrong:\n%s", s)
+	}
+}
+
+func TestHarvestedSupply(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-harvest", "5e-6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reboots") {
+		t.Errorf("output missing reboot info:\n%s", out.String())
+	}
+}
+
+func TestShowIR(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-show-ir"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "machine MITD_send_accel") {
+		t.Errorf("output missing IR:\n%s", out.String())
+	}
+}
+
+func TestRounds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rounds", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sentCount=6.00") {
+		t.Errorf("two rounds should send 6:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-system", "tics"},
+		{"-charging", "soon"},
+		{"-nonsense"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: succeeded", args)
+		}
+	}
+}
+
+func TestCameraApp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "camera", "-rounds", "4", "-charging", "45s", "-budget", "2350"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"completed", "frames=", "chunksSent="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCameraMayflyRejected(t *testing.T) {
+	if err := run([]string{"-app", "camera", "-system", "mayfly"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("camera under mayfly accepted")
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "toaster"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,289 @@
+// Command artemisgen is the ARTEMIS generator pipeline (§3, Figure 3) as a
+// command-line tool: it compiles a property specification (or hand-written
+// intermediate-language machines) into monitor code.
+//
+//	artemisgen -app health -emit ir          # Figure-5 spec → IR machines
+//	artemisgen -app health -emit go -o m.go  # Figure-5 spec → Go monitors
+//	artemisgen -spec props.spec -graph app.graph -emit go
+//	artemisgen -ir monitors.ir -emit go      # hand-written IR → Go monitors
+//	artemisgen -app health -check -budget 800   # consistency analysis (§7)
+//
+// The graph file format is one line per path plus optional data
+// declarations:
+//
+//	path 1: bodyTemp calcAvg heartRate send
+//	path 2: accel filter classify send
+//	data calcAvg avgTemp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/codegen"
+	"github.com/tinysystems/artemis-go/internal/consistency"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/transform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "artemisgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("artemisgen", flag.ContinueOnError)
+	var (
+		appName   = fs.String("app", "", "built-in application (health)")
+		specFile  = fs.String("spec", "", "property specification file")
+		graphFile = fs.String("graph", "", "task graph description file")
+		irFile    = fs.String("ir", "", "intermediate-language input file (bypasses the spec)")
+		emit      = fs.String("emit", "ir", "output format: ir, go, or dot")
+		pkg       = fs.String("pkg", "monitors", "package name for -emit go")
+		out       = fs.String("o", "", "output file (default stdout)")
+		check     = fs.Bool("check", false, "run the property consistency analysis instead of emitting code")
+		budget    = fs.Float64("budget", 0, "boot energy budget in µJ for -check's feasibility analysis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check {
+		return runCheck(*appName, *specFile, *graphFile, *budget, stdout)
+	}
+
+	prog, err := buildProgram(*appName, *specFile, *graphFile, *irFile)
+	if err != nil {
+		return err
+	}
+
+	var output []byte
+	switch *emit {
+	case "ir":
+		output = []byte(prog.String())
+	case "go":
+		output, err = codegen.Generate(prog, *pkg)
+		if err != nil {
+			return err
+		}
+	case "dot":
+		output = []byte(ir.DOT(prog))
+	default:
+		return fmt.Errorf("unknown -emit %q (want ir, go, or dot)", *emit)
+	}
+	if *out == "" {
+		_, err = stdout.Write(output)
+		return err
+	}
+	return os.WriteFile(*out, output, 0o644)
+}
+
+// runCheck runs the §7 consistency analysis and reports findings; it fails
+// with an error when any finding is an Error.
+func runCheck(appName, specFile, graphFile string, budgetUJ float64, stdout io.Writer) error {
+	graph, dataVars, specSrc, err := loadInputs(appName, specFile, graphFile)
+	if err != nil {
+		return err
+	}
+	s, err := spec.Parse(specSrc)
+	if err != nil {
+		return err
+	}
+	gi := graphInfoOf(graph, dataVars)
+	if err := spec.Validate(s, gi); err != nil {
+		return err
+	}
+	findings, err := consistency.Analyze(s, consistency.Options{
+		Graph:    graph,
+		Profile:  device.MSP430FR5994(),
+		BudgetUJ: budgetUJ,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, consistency.Render(findings))
+	if consistency.HasErrors(findings) {
+		return fmt.Errorf("specification is inconsistent")
+	}
+	return nil
+}
+
+// graphInfoOf adapts a graph + data vars to spec.GraphInfo.
+type cmdGraphInfo struct {
+	g    *task.Graph
+	data map[string]bool
+}
+
+func (gi cmdGraphInfo) HasTask(name string) bool    { return gi.g.Task(name) != nil }
+func (gi cmdGraphInfo) HasPath(id int) bool         { return gi.g.PathByID(id) != nil }
+func (gi cmdGraphInfo) TaskPaths(name string) []int { return gi.g.PathsContaining(name) }
+func (gi cmdGraphInfo) HasData(name string) bool    { return gi.data[name] }
+
+func graphInfoOf(g *task.Graph, dataVars []string) spec.GraphInfo {
+	data := map[string]bool{}
+	for _, v := range dataVars {
+		data[v] = true
+	}
+	return cmdGraphInfo{g: g, data: data}
+}
+
+// loadInputs resolves the graph, data variables, and spec source from the
+// -app / -graph / -spec flags.
+func loadInputs(appName, specFile, graphFile string) (*task.Graph, []string, string, error) {
+	var (
+		graph    *task.Graph
+		dataVars []string
+		specSrc  string
+	)
+	switch {
+	case appName == "health":
+		app := health.New()
+		graph = app.Graph
+		dataVars = health.Keys()
+		specSrc = health.SpecSource
+	case appName != "":
+		return nil, nil, "", fmt.Errorf("unknown -app %q (want health)", appName)
+	case graphFile != "":
+		var err error
+		graph, dataVars, err = parseGraphFile(graphFile)
+		if err != nil {
+			return nil, nil, "", err
+		}
+	default:
+		return nil, nil, "", fmt.Errorf("need -app, -graph, or -ir")
+	}
+	if specFile != "" {
+		src, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		specSrc = string(src)
+	}
+	if specSrc == "" {
+		return nil, nil, "", fmt.Errorf("need -spec with -graph")
+	}
+	return graph, dataVars, specSrc, nil
+}
+
+func buildProgram(appName, specFile, graphFile, irFile string) (*ir.Program, error) {
+	if irFile != "" {
+		src, err := os.ReadFile(irFile)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Parse(string(src))
+	}
+
+	var (
+		graph    *task.Graph
+		dataVars []string
+		specSrc  string
+	)
+	switch {
+	case appName == "health":
+		app := health.New()
+		graph = app.Graph
+		dataVars = health.Keys()
+		specSrc = health.SpecSource
+	case appName != "":
+		return nil, fmt.Errorf("unknown -app %q (want health)", appName)
+	case graphFile != "":
+		var err error
+		graph, dataVars, err = parseGraphFile(graphFile)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("need -app, -graph, or -ir")
+	}
+	if specFile != "" {
+		src, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		specSrc = string(src)
+	}
+	if specSrc == "" {
+		return nil, fmt.Errorf("need -spec with -graph")
+	}
+	s, err := spec.Parse(specSrc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := transform.Compile(s, transform.Options{Graph: graph, DataVars: dataVars})
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
+}
+
+// parseGraphFile reads the "path N: t1 t2 ..." / "data task var" format.
+func parseGraphFile(path string) (*task.Graph, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tasks := map[string]*task.Task{}
+	var paths []*task.Path
+	var dataVars []string
+	type dataDecl struct{ taskName, varName string }
+	var datas []dataDecl
+
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ":", " "))
+		switch fields[0] {
+		case "path":
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("%s:%d: path needs an ID and tasks", path, lineNo+1)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad path ID %q", path, lineNo+1, fields[1])
+			}
+			p := &task.Path{ID: id}
+			for _, name := range fields[2:] {
+				t, ok := tasks[name]
+				if !ok {
+					t = &task.Task{Name: name}
+					tasks[name] = t
+				}
+				p.Tasks = append(p.Tasks, t)
+			}
+			paths = append(paths, p)
+		case "data":
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("%s:%d: data needs a task and a variable", path, lineNo+1)
+			}
+			datas = append(datas, dataDecl{fields[1], fields[2]})
+			dataVars = append(dataVars, fields[2])
+		default:
+			return nil, nil, fmt.Errorf("%s:%d: unknown directive %q", path, lineNo+1, fields[0])
+		}
+	}
+	for _, d := range datas {
+		t, ok := tasks[d.taskName]
+		if !ok {
+			return nil, nil, fmt.Errorf("%s: data declaration for unknown task %q", path, d.taskName)
+		}
+		t.DepData = d.varName
+	}
+	g, err := task.NewGraph(paths...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, dataVars, nil
+}

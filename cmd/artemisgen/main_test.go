@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/ir"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuiltinAppEmitIR(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "health", "-emit", "ir"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The output is valid IR with the benchmark's eight machines.
+	prog, err := ir.Parse(out.String())
+	if err != nil {
+		t.Fatalf("emitted IR does not parse: %v", err)
+	}
+	if len(prog.Machines) != 8 {
+		t.Fatalf("machines = %d, want 8", len(prog.Machines))
+	}
+}
+
+func TestBuiltinAppEmitGoToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "monitors.go")
+	if err := run([]string{"-app", "health", "-emit", "go", "-pkg", "m", "-o", out}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package m") {
+		t.Fatal("generated file missing package clause")
+	}
+}
+
+func TestGraphAndSpecFiles(t *testing.T) {
+	dir := t.TempDir()
+	graph := write(t, dir, "app.graph", `
+# greenhouse-ish topology
+path 1: sense calc act
+data calc level
+`)
+	specFile := write(t, dir, "props.spec", `
+sense { maxTries: 4 onFail: skipPath; }
+calc { dpData: level Range: [0, 100] onFail: completePath; }
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-graph", graph, "-spec", specFile, "-emit", "ir"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Parse(out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(prog.Machines))
+	}
+}
+
+func TestIRInputEmitGo(t *testing.T) {
+	dir := t.TempDir()
+	irFile := write(t, dir, "m.ir", `
+machine M {
+    var n: int = 0
+    initial state S {
+        on start [task == "x"] -> S { n = n + 1; if n > 3 { fail skipTask; } }
+    }
+}
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-ir", irFile, "-emit", "go", "-pkg", "x"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "package x") {
+		t.Fatal("missing package clause")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	badGraph := write(t, dir, "bad.graph", "frobnicate 1: a b\n")
+	dupPath := write(t, dir, "dup.graph", "path 1: a\npath 1: b\n")
+	badSpec := write(t, dir, "bad.spec", "a { unknownProp: 3; }")
+	okGraph := write(t, dir, "ok.graph", "path 1: a\n")
+	badData := write(t, dir, "badData.graph", "path 1: a\ndata ghost v\n")
+
+	cases := [][]string{
+		{},                                     // no input selected
+		{"-app", "nonexistent"},                // unknown app
+		{"-app", "health", "-emit", "yaml"},    // unknown emit
+		{"-graph", badGraph, "-spec", badSpec}, // bad graph directive
+		{"-graph", dupPath, "-spec", badSpec},  // duplicate path ID
+		{"-graph", okGraph},                    // graph without spec
+		{"-graph", okGraph, "-spec", badSpec},  // bad spec
+		{"-graph", badData, "-spec", badSpec},  // data for unknown task
+		{"-ir", filepath.Join(dir, "missing.ir")},
+		{"-spec", filepath.Join(dir, "missing.spec"), "-graph", okGraph},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: succeeded", args)
+		}
+	}
+}
+
+func TestGraphFileComments(t *testing.T) {
+	dir := t.TempDir()
+	graph := write(t, dir, "c.graph", "# comment\n\npath 1: a b\n")
+	specFile := write(t, dir, "c.spec", "a { maxTries: 2 onFail: skipPath; }")
+	if err := run([]string{"-graph", graph, "-spec", specFile}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConsistentSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "health", "-check", "-budget", "800"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no inconsistencies") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckInconsistentSpecFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "health", "-check", "-budget", "300"}, &out)
+	if err == nil {
+		t.Fatal("inconsistent spec passed -check")
+	}
+	if !strings.Contains(out.String(), "can never complete") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckCustomGraph(t *testing.T) {
+	dir := t.TempDir()
+	graph := write(t, dir, "g.graph", "path 1: fast slow\n")
+	specFile := write(t, dir, "s.spec", "slow { maxDuration: 1us onFail: skipTask; }")
+	var out bytes.Buffer
+	// maxDuration of 1 µs passes for a task with no declared work (the
+	// lower bound is zero), so this is consistent.
+	if err := run([]string{"-graph", graph, "-spec", specFile, "-check"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitDot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "health", "-emit", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph monitors") {
+		t.Errorf("missing digraph:\n%s", out.String())
+	}
+}

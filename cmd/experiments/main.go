@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation (§5): every figure
+// and table, printed as text series over the simulated testbed.
+//
+//	experiments                  # everything
+//	experiments -fig 12          # one figure (12, 13, 14, 15, 16)
+//	experiments -table 2         # one table
+//	experiments -budget 800 -maxdelay 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tinysystems/artemis-go/internal/experiments"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig      = fs.Int("fig", 0, "regenerate one figure (12–16); 0 = all")
+		table    = fs.Int("table", 0, "regenerate one table (2); 0 = all")
+		budget   = fs.Float64("budget", 800, "usable energy per boot in µJ")
+		maxDelay = fs.Int("maxdelay", 10, "largest charging delay in minutes for the Figure-12 sweep")
+		reboots  = fs.Int("reboots", 100, "reboot budget before declaring non-termination")
+		alts     = fs.Bool("alternatives", false, "include the §7 implementation-alternatives comparison")
+		wear     = fs.Bool("wear", false, "include the per-component FRAM wear report")
+		physical = fs.Bool("physical", false, "include the Figure-12 sweep on the physical capacitor+harvester model")
+		ext      = fs.Bool("extension", false, "include the §4.2.2 minEnergy extension comparison")
+		csv      = fs.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{BudgetUJ: *budget, NonTermReboots: *reboots}
+	for m := 1; m <= *maxDelay; m++ {
+		opt.ChargingDelays = append(opt.ChargingDelays, simclock.Duration(m)*simclock.Minute)
+	}
+
+	all := *fig == 0 && *table == 0
+	want := func(f int) bool { return all || *fig == f }
+	show := func(t *trace.Table) {
+		if *csv {
+			fmt.Fprintln(w, t.CSV())
+		} else {
+			fmt.Fprintln(w, t.Render())
+		}
+	}
+
+	if want(12) {
+		rows, err := experiments.Figure12(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableFigure12(rows))
+	}
+	if want(13) {
+		res, err := experiments.Figure13(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.RenderFigure13(res))
+	}
+	if want(14) {
+		rows, err := experiments.Figure14(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableFigure14(rows))
+	}
+	if want(15) {
+		rows, err := experiments.Figure15(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableFigure15(rows))
+	}
+	if want(16) {
+		rows, err := experiments.Figure16(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableFigure16(rows))
+	}
+	if all || *table == 2 {
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableTable2(rows))
+	}
+	if all || *alts {
+		rows, err := experiments.Alternatives(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableAlternatives(rows))
+	}
+	if all || *physical {
+		rows, err := experiments.Figure12Physical(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableFigure12Physical(rows))
+	}
+	if all || *wear {
+		rows, err := experiments.Wear(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableWear(rows))
+	}
+	if all || *ext {
+		rows, err := experiments.Extension(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableExtension(rows))
+	}
+	return nil
+}

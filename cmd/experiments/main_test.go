@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-reboots", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Figure 12", "Figure 13", "Figure 14", "Figure 15", "Figure 16", "Table 2",
+		"non-termination", "attempt #3", "FRAM",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "14", "-reboots", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 14") {
+		t.Error("missing figure 14")
+	}
+	if strings.Contains(s, "Figure 12") || strings.Contains(s, "Table 2") {
+		t.Error("unrequested output present")
+	}
+}
+
+func TestSingleTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "2", "-reboots", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Error("missing table 2")
+	}
+}
+
+func TestShortSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "12", "-maxdelay", "2", "-reboots", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "min ") < 2 {
+		t.Errorf("sweep too short:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "14", "-csv", "-reboots", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "system,app logic,runtime,monitor,total") {
+		t.Errorf("missing CSV header:\n%s", s)
+	}
+	if strings.Contains(s, "---") {
+		t.Error("aligned-table rule present in CSV mode")
+	}
+}

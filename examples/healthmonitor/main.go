@@ -1,0 +1,108 @@
+// Healthmonitor reproduces the paper's running example end to end: the
+// wearable health-monitoring application of Figures 4–6 with the Figure-5
+// property specification, executed side by side under ARTEMIS and the
+// Mayfly baseline on a charging delay that defeats the 5-minute MITD.
+//
+// ARTEMIS bounds the futile path-2 retries with maxAttempt and completes;
+// Mayfly retries forever and is cut off by the non-termination detector.
+//
+//	go run ./examples/healthmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/mayfly"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/trace"
+)
+
+func main() {
+	const chargingDelay = 6 * simclock.Minute
+
+	fmt.Printf("=== wearable health monitor, 800 µJ boots, %v charging ===\n\n", chargingDelay)
+
+	fmt.Println("--- ARTEMIS ---")
+	if err := runArtemis(chargingDelay); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- Mayfly baseline ---")
+	if err := runMayfly(chargingDelay); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runArtemis(delay simclock.Duration) error {
+	app := health.New()
+	cfg := core.Config{
+		System:     core.Artemis,
+		Graph:      app.Graph,
+		StoreKeys:  health.Keys(),
+		SpecSource: health.SpecSource,
+		Supply:     core.SupplyConfig{Kind: core.SupplyFixedDelay, BudgetUJ: 800, Delay: delay},
+		MaxReboots: 100,
+	}
+	attempt := 0
+	cfg.OnDecision = func(ev monitor.Event, d monitor.Decision) {
+		if d.Machine != "MITD_send_accel" {
+			return
+		}
+		attempt++
+		switch d.Action {
+		case action.RestartPath:
+			fmt.Printf("  t=%-9s attempt #%d: acceleration data older than 5 min → restart path %d\n",
+				trace.FormatDuration(simclock.Duration(ev.Time)), attempt, d.Path)
+		case action.SkipPath:
+			fmt.Printf("  t=%-9s attempt #%d: maxAttempt exhausted → skip path %d, keep going\n",
+				trace.FormatDuration(simclock.Duration(ev.Time)), attempt, d.Path)
+		}
+	}
+	f, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := f.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  outcome: completed=%v in %s across %d power failures\n",
+		rep.Completed, trace.FormatDuration(rep.Elapsed), rep.Reboots)
+	fmt.Printf("  sent %v transmission(s); cough-detection data delivered: %v\n",
+		f.Store().Get("sentCount"), f.Store().Get("micData") == 1)
+	return nil
+}
+
+func runMayfly(delay simclock.Duration) error {
+	app := health.New()
+	f, err := core.New(core.Config{
+		System:      core.Mayfly,
+		Graph:       app.Graph,
+		StoreKeys:   health.Keys(),
+		Constraints: mayfly.HealthConstraints(),
+		Supply:      core.SupplyConfig{Kind: core.SupplyFixedDelay, BudgetUJ: 800, Delay: delay},
+		MaxReboots:  100,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := f.Run()
+	if err != nil {
+		return err
+	}
+	if rep.NonTerminated {
+		fmt.Printf("  outcome: NON-TERMINATION — %d path restarts, %s elapsed, %s consumed, never finished\n",
+			rep.MayflyStats.PathRestarts,
+			trace.FormatDuration(rep.Elapsed),
+			trace.FormatJoules(float64(rep.Energy)))
+	} else {
+		fmt.Printf("  outcome: completed=%v in %s\n", rep.Completed, trace.FormatDuration(rep.Elapsed))
+	}
+	fmt.Printf("  cough-detection data delivered: %v (path 3 starved behind the stuck path 2)\n",
+		f.Store().Get("micData") == 1)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/tinysystems/artemis-go
+
+go 1.22

@@ -1,0 +1,131 @@
+package artemis
+
+import (
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// TestCrashAnywhereCompletes sweeps a forced power failure across the whole
+// execution: for each arming offset, exactly one extra power failure
+// interrupts the run at that point in active time. Whatever the failure
+// lands on — a task body, a store commit, a monitor commit, the runtime's
+// control commit, event creation — the application must recover and
+// complete with consistent outputs.
+func TestCrashAnywhereCompletes(t *testing.T) {
+	// Reference run without injected failures.
+	ref := newRig(t, &energy.Continuous{}, 36.6)
+	refRes, err := ref.dev.Run(ref.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := refRes.Active
+	if total == 0 {
+		t.Fatal("reference run has no active time")
+	}
+
+	step := total / 97 // odd divisor: offsets land on varied code points
+	if step <= 0 {
+		step = simclock.Millisecond
+	}
+	for off := simclock.Duration(1); off < total; off += step {
+		off := off
+		r := newRig(t, &energy.Continuous{}, 36.6)
+		armed := false
+		boot := func() error {
+			if !armed {
+				armed = true
+				r.rt.cfg.MCU.ArmFailureAfter(off)
+			}
+			return r.rt.Boot()
+		}
+		res, err := r.dev.Run(boot)
+		if err != nil {
+			t.Fatalf("crash at %v: %v", off, err)
+		}
+		if !res.Completed {
+			t.Fatalf("crash at %v: did not complete", off)
+		}
+		if res.Reboots != 1 {
+			t.Fatalf("crash at %v: reboots = %d, want 1", off, res.Reboots)
+		}
+		// Output invariants: ten committed samples exactly once each; the
+		// average stays healthy; transmissions bounded by the three paths.
+		// (A failure inside a send can legitimately cause a timeliness skip,
+		// so sentCount may drop below the reference 3 but never exceeds it.)
+		if got := r.store.Get("tempCount"); got != 10 {
+			t.Fatalf("crash at %v: tempCount = %g, want 10", off, got)
+		}
+		if avg := r.store.Get("avgTemp"); avg < 36.4 || avg > 36.8 {
+			t.Fatalf("crash at %v: avgTemp = %g out of range", off, avg)
+		}
+		if sent := r.store.Get("sentCount"); sent < 2 || sent > 3 {
+			t.Fatalf("crash at %v: sentCount = %g", off, sent)
+		}
+		snap := r.rt.Snapshot()
+		if !snap.Done {
+			t.Fatalf("crash at %v: runtime not done", off)
+		}
+	}
+}
+
+// TestDoubleCrashInSameTask interrupts the same expensive task on two
+// consecutive boots; the maxTries machine must observe both attempts and the
+// application must still finish.
+func TestDoubleCrashInSameTask(t *testing.T) {
+	r := newRig(t, &energy.Continuous{}, 36.6)
+	boots := 0
+	boot := func() error {
+		boots++
+		switch boots {
+		case 1:
+			// ~175 ms lands inside path 2 (path 1 takes ~175 ms of active
+			// time including overheads).
+			r.rt.cfg.MCU.ArmFailureAfter(175 * simclock.Millisecond)
+		case 2:
+			// 30 ms after the reboot lands inside the re-execution of the
+			// task the first failure interrupted.
+			r.rt.cfg.MCU.ArmFailureAfter(30 * simclock.Millisecond)
+		}
+		return r.rt.Boot()
+	}
+	res, err := r.dev.Run(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Reboots != 2 {
+		t.Fatalf("res = %+v, want completion after exactly 2 reboots", res)
+	}
+	// After accel finally completes, the attempt counter has been consumed
+	// by the end event; what matters is the run completed without tripping
+	// the maxTries limit of 10.
+	if got := r.store.Get("accelData"); got != 1 {
+		t.Fatalf("accelData = %g, want 1", got)
+	}
+}
+
+// TestCrashDuringCharging is a degenerate but legal schedule: the forced
+// failure fires on the very first instruction after a reboot, twice.
+func TestCrashStormAtBoot(t *testing.T) {
+	supply := fixedSupply(t, 800, simclock.Minute)
+	r := newRig(t, supply, 36.6)
+	boots := 0
+	boot := func() error {
+		boots++
+		if boots <= 3 {
+			r.rt.cfg.MCU.ArmFailureAfter(simclock.Microsecond)
+		}
+		return r.rt.Boot()
+	}
+	res, err := r.dev.Run(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete after boot-storm")
+	}
+	if got := r.store.Get("tempCount"); got != 10 {
+		t.Fatalf("tempCount = %g, want 10", got)
+	}
+}

@@ -1,0 +1,572 @@
+// Package artemis is the ARTEMIS intermittent computing runtime (§3.4,
+// §4.1): it executes a task graph path by path in a power-failure-resilient
+// manner, feeds startTask/endTask events to the application-specific
+// monitors, and executes the corrective actions the monitors recommend.
+//
+// Crash-consistency design. All runtime control state — current path and
+// task, task status, the in-flight event record, completion flags — lives in
+// one two-phase-committed NVM region, so every control transition is atomic.
+// The protocol is:
+//
+//  1. Create an event: bump the persistent sequence number, record kind,
+//     timestamp, and data, mark it undelivered, commit.
+//  2. Deliver it to the monitor set (idempotent per sequence number: each
+//     machine commits its own configuration together with the verdict it
+//     produced, so a crash mid-delivery resumes exactly where it stopped).
+//  3. Apply the arbitrated decision: re-initialise path monitors if needed
+//     (idempotent), stage the new control state with the event marked
+//     delivered, commit.
+//
+// A power failure between any two points replays from step 2 with the same
+// sequence number, reaching the same decision and the same final state. A
+// power failure while a task runs leaves status READY with the start event
+// delivered, so the next boot emits a fresh start event — which is precisely
+// how monitors observe re-execution attempts (maxTries). Timestamp handling
+// follows §4.1.3: the end-of-task time is committed once and never restamped
+// on replay, while the start event is restamped on every re-execution and
+// time-tracking machines keep the first value they saw.
+package artemis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+// Owner is the NVM accounting label for runtime state (Table 2).
+const Owner = "runtime"
+
+// Synthetic CPU costs of the runtime's own bookkeeping, charged so that the
+// overhead breakdowns of Figures 14 and 15 have something to measure. The
+// values approximate the paper's measured scale: per-task runtime overhead
+// of a few hundred microseconds at 1 MHz.
+const (
+	checkTaskCycles     = 120 // checkTask bookkeeping per event
+	monitorBaseCycles   = 60  // monitor dispatch entry/exit
+	monitorPerMachCycle = 18  // per-machine evaluation cost
+)
+
+// Task status values stored in the control region.
+const (
+	statusReady    = 0
+	statusFinished = 1
+)
+
+// ErrStuck reports that the runtime looped without making progress on
+// continuous power (e.g. an ill-specified property that restarts a path
+// forever with no failure possible). The reboot budget cannot catch this
+// case because no power failure occurs.
+var ErrStuck = errors.New("artemis: no progress within the step budget")
+
+// Config assembles a runtime.
+type Config struct {
+	MCU      *device.MCU
+	Graph    *task.Graph
+	Store    *task.Store
+	Monitors monitor.Interface
+
+	// Rounds is how many times the whole path list executes; defaults to 1.
+	Rounds int
+
+	// MaxSteps bounds main-loop iterations per application run as a guard
+	// against runtime-level livelock; defaults to 1_000_000.
+	MaxSteps int
+
+	// OnDecision, when non-nil, observes every non-none arbitrated decision
+	// together with the event that triggered it. Experiment harnesses use
+	// it to reconstruct timelines (Figure 13).
+	OnDecision func(ev monitor.Event, d monitor.Decision)
+
+	// Extras are additional persistent structures (e.g. task.Channel) the
+	// runtime commits at every task boundary and rolls back on reboot,
+	// extending the store's atomicity to them.
+	Extras []task.Persistent
+}
+
+// Stats counts runtime decisions over the application run. They live in
+// volatile memory and are rebuilt meaningless after reboots in a real
+// deployment, but the simulator's Device keeps the Runtime value alive
+// across simulated reboots, so experiments read accurate totals.
+type Stats struct {
+	Events       int
+	TaskRuns     int
+	TaskSkips    int
+	TaskRestarts int
+	PathRestarts int
+	PathSkips    int
+	PathComplete int
+	Decisions    map[action.Action]int
+}
+
+// Runtime executes one application under ARTEMIS monitoring.
+type Runtime struct {
+	cfg   Config
+	state *controlState
+	init  *nvm.Var[bool]
+	stats Stats
+}
+
+// Control-region word layout.
+const (
+	wPathIdx = iota
+	wTaskIdx
+	wStatus
+	wRound
+	wAppDone
+	wCompleteMode
+	wEvSeq
+	wEvKind
+	wEvTime
+	wEvData
+	wEvDelivered
+	wEvEnergy
+	wFinishTime
+	wWords // count
+)
+
+// controlState is the committed runtime control region with a staged
+// volatile view.
+type controlState struct {
+	c *nvm.Committed
+}
+
+func (s *controlState) get(w int) uint64    { return s.c.ReadUint64(w * 8) }
+func (s *controlState) set(w int, v uint64) { s.c.WriteUint64(w*8, v) }
+func (s *controlState) getI(w int) int64    { return int64(s.get(w)) }
+func (s *controlState) setI(w int, v int64) { s.set(w, uint64(v)) }
+func (s *controlState) getB(w int) bool     { return s.get(w) != 0 }
+func (s *controlState) setB(w int, v bool)  { s.set(w, b2u(v)) }
+func (s *controlState) commit()             { s.c.Commit() }
+func (s *controlState) rollback()           { s.c.Reopen() }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// New assembles a runtime, allocating its persistent state. Allocation
+// order is deterministic, so reconstructing a Runtime over the same
+// (rebooted) memory recovers the previous state.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.MCU == nil || cfg.Graph == nil || cfg.Store == nil || cfg.Monitors == nil {
+		return nil, errors.New("artemis: Config needs MCU, Graph, Store, and Monitors")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	c, err := nvm.AllocCommitted(cfg.MCU.Mem, Owner, "control", wWords*8)
+	if err != nil {
+		return nil, err
+	}
+	initDone, err := nvm.AllocVar[bool](cfg.MCU.Mem, Owner, "initDone")
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		cfg:   cfg,
+		state: &controlState{c: c},
+		init:  initDone,
+		stats: Stats{Decisions: map[action.Action]int{}},
+	}, nil
+}
+
+// Stats returns the decision counters accumulated so far.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// Boot is the runtime entry point, invoked by the device on every power-up
+// (Figure 8's main). It performs the one-time hard reset, finalises any
+// monitor processing interrupted by the last power failure, and runs the
+// main loop to application completion.
+func (r *Runtime) Boot() error {
+	mcu := r.cfg.MCU
+	prev := mcu.SetComponent(device.CompRuntime)
+	defer mcu.SetComponent(prev)
+
+	// Initial hard reset: exactly once in the application's life (§4.1).
+	if !r.init.Get() {
+		r.hardReset()
+	}
+
+	// Reboot recovery: discard staged-but-uncommitted state and let the
+	// main loop re-deliver the in-flight event (monitorFinalize).
+	r.state.rollback()
+	r.cfg.Monitors.Rollback()
+	r.cfg.Store.Rollback()
+	for _, e := range r.cfg.Extras {
+		e.Rollback()
+	}
+
+	for steps := 0; ; steps++ {
+		if steps > r.cfg.MaxSteps {
+			return ErrStuck
+		}
+		mcu.Exec(checkTaskCycles)
+		done, err := r.step()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+func (r *Runtime) hardReset() {
+	r.cfg.Monitors.Reset()
+	s := r.state
+	for w := 0; w < wWords; w++ {
+		s.set(w, 0)
+	}
+	s.setB(wEvDelivered, true) // no event in flight
+	s.commit()
+	r.init.Set(true)
+}
+
+// currentPath returns the path under execution.
+func (r *Runtime) currentPath() *task.Path {
+	return r.cfg.Graph.Paths[r.state.getI(wPathIdx)]
+}
+
+// currentTask returns the task under execution.
+func (r *Runtime) currentTask() *task.Task {
+	return r.currentPath().Tasks[r.state.getI(wTaskIdx)]
+}
+
+// step executes one main-loop iteration; it reports application completion.
+func (r *Runtime) step() (bool, error) {
+	s := r.state
+	if s.getB(wAppDone) {
+		return true, nil
+	}
+	if s.getB(wCompleteMode) {
+		return r.stepUnmonitored()
+	}
+	if s.getI(wStatus) == statusFinished {
+		return false, r.handleEnd()
+	}
+	return false, r.handleStart()
+}
+
+// handleStart emits (or re-delivers) the current task's start event, applies
+// the monitors' decision, and — if the properties hold — runs the task.
+func (r *Runtime) handleStart() error {
+	s := r.state
+	if s.getB(wEvDelivered) {
+		// New start event; restamped on every re-execution attempt.
+		r.newEvent(ir.EvStart, r.cfg.MCU.Now(), 0)
+	}
+	dec, err := r.deliver()
+	if err != nil {
+		return err
+	}
+	switch dec.Action {
+	case action.None, action.RestartTask:
+		// RestartTask on a start event is the task running (again).
+		s.setB(wEvDelivered, true)
+		s.commit()
+		if dec.Action == action.RestartTask {
+			r.stats.TaskRestarts++
+		}
+		return r.runCurrentTask()
+	case action.SkipTask:
+		r.stats.TaskSkips++
+		r.advanceTask()
+		return nil
+	case action.RestartPath:
+		r.stats.PathRestarts++
+		r.restartPath(dec.Path)
+		return nil
+	case action.SkipPath:
+		r.stats.PathSkips++
+		r.skipPath(dec.Path)
+		return nil
+	case action.CompletePath:
+		r.stats.PathComplete++
+		r.enterCompleteMode()
+		return nil
+	}
+	return fmt.Errorf("artemis: unknown action %v", dec.Action)
+}
+
+// handleEnd emits (or re-delivers) the end event of the finished task and
+// applies the decision.
+func (r *Runtime) handleEnd() error {
+	s := r.state
+	if s.getB(wEvDelivered) {
+		// The finish timestamp was committed by taskFinish and is reused
+		// verbatim on replays (§4.1.3).
+		data := r.depData()
+		r.newEvent(ir.EvEnd, simclock.Time(s.getI(wFinishTime)), data)
+	}
+	dec, err := r.deliver()
+	if err != nil {
+		return err
+	}
+	switch dec.Action {
+	case action.None, action.SkipTask:
+		// SkipTask after completion has nothing left to skip.
+		r.advanceTask()
+		return nil
+	case action.RestartTask:
+		r.stats.TaskRestarts++
+		s.setI(wStatus, statusReady)
+		s.setB(wEvDelivered, true)
+		s.commit()
+		return nil
+	case action.RestartPath:
+		r.stats.PathRestarts++
+		r.restartPath(dec.Path)
+		return nil
+	case action.SkipPath:
+		r.stats.PathSkips++
+		r.skipPath(dec.Path)
+		return nil
+	case action.CompletePath:
+		r.stats.PathComplete++
+		r.enterCompleteMode()
+		return nil
+	}
+	return fmt.Errorf("artemis: unknown action %v", dec.Action)
+}
+
+// newEvent stages and commits a fresh event record. The supply's energy
+// level is sampled once per event (the §4.2.2 energy-awareness primitive)
+// and persisted with it, so replays after a power failure observe the level
+// the original decision was based on.
+func (r *Runtime) newEvent(kind ir.EventKind, at simclock.Time, data float64) {
+	s := r.state
+	s.set(wEvSeq, s.get(wEvSeq)+1)
+	s.setI(wEvKind, int64(kind))
+	s.setI(wEvTime, int64(at))
+	s.set(wEvData, math.Float64bits(data))
+	s.set(wEvEnergy, math.Float64bits(float64(r.cfg.MCU.EnergyLevel())*1e6))
+	s.setB(wEvDelivered, false)
+	s.commit()
+}
+
+// depData reads the finished task's dependent data value from the store.
+func (r *Runtime) depData() float64 {
+	t := r.currentTask()
+	if t.DepData == "" || !r.cfg.Store.Has(t.DepData) {
+		return 0
+	}
+	return r.cfg.Store.Get(t.DepData)
+}
+
+// deliver sends the persisted in-flight event to the monitors and arbitrates
+// the verdicts. Idempotent: replays after power failures converge to the
+// same decision.
+func (r *Runtime) deliver() (monitor.Decision, error) {
+	s := r.state
+	ev := monitor.Event{
+		Seq: s.get(wEvSeq),
+		Event: ir.Event{
+			Kind:   ir.EventKind(s.getI(wEvKind)),
+			Task:   r.currentTask().Name,
+			Time:   simclock.Time(s.getI(wEvTime)),
+			Path:   r.currentPath().ID,
+			Data:   math.Float64frombits(s.get(wEvData)),
+			Energy: math.Float64frombits(s.get(wEvEnergy)),
+		},
+	}
+	mcu := r.cfg.MCU
+	prev := mcu.SetComponent(device.CompMonitor)
+	mcu.Exec(int64(monitorBaseCycles + monitorPerMachCycle*r.cfg.Monitors.HostMachines()))
+	failures, err := r.cfg.Monitors.Deliver(ev)
+	mcu.SetComponent(prev)
+	if err != nil {
+		return monitor.Decision{}, err
+	}
+	r.stats.Events++
+	dec := monitor.Decide(failures, r.currentPath().ID)
+	if dec.Action != action.None {
+		r.stats.Decisions[dec.Action]++
+		if r.cfg.OnDecision != nil {
+			r.cfg.OnDecision(ev, dec)
+		}
+	}
+	return dec, nil
+}
+
+// runCurrentTask executes the task body with app attribution and finalises
+// it (taskFinish, Figure 9): commit outputs, stamp the finish time, flip the
+// status — all atomic with respect to power failures.
+func (r *Runtime) runCurrentTask() error {
+	mcu := r.cfg.MCU
+	t := r.currentTask()
+	ctx := &task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
+	prev := mcu.SetComponent(device.CompApp)
+	err := t.Execute(ctx)
+	mcu.SetComponent(prev)
+	if err != nil {
+		return fmt.Errorf("artemis: task %s: %w", t.Name, err)
+	}
+	r.stats.TaskRuns++
+	// Task boundary: outputs commit, then control state. A crash between
+	// the commits re-runs the task; idempotent re-execution re-commits the
+	// same outputs.
+	r.cfg.Store.Commit()
+	for _, e := range r.cfg.Extras {
+		e.Commit()
+	}
+	s := r.state
+	s.setI(wFinishTime, int64(mcu.Now()))
+	s.setI(wStatus, statusFinished)
+	s.setB(wEvDelivered, true)
+	s.commit()
+	return nil
+}
+
+// advanceTask moves to the next task, next path, next round, or completion.
+func (r *Runtime) advanceTask() {
+	s := r.state
+	path := r.currentPath()
+	next := s.getI(wTaskIdx) + 1
+	if int(next) < len(path.Tasks) {
+		s.setI(wTaskIdx, next)
+		s.setI(wStatus, statusReady)
+		s.setB(wEvDelivered, true)
+		s.commit()
+		return
+	}
+	r.advancePath()
+}
+
+// advancePath moves to the next path (or round, or completion).
+func (r *Runtime) advancePath() {
+	s := r.state
+	nextPath := s.getI(wPathIdx) + 1
+	if int(nextPath) < len(r.cfg.Graph.Paths) {
+		s.setI(wPathIdx, nextPath)
+	} else {
+		round := s.getI(wRound) + 1
+		if int(round) >= r.cfg.Rounds {
+			s.setB(wAppDone, true)
+			s.commit()
+			return
+		}
+		s.setI(wRound, round)
+		s.setI(wPathIdx, 0)
+	}
+	s.setI(wTaskIdx, 0)
+	s.setI(wStatus, statusReady)
+	s.setB(wEvDelivered, true)
+	s.commit()
+}
+
+// restartPath re-initialises the path's monitors (idempotent) and rewinds
+// to its first task.
+func (r *Runtime) restartPath(pathID int) {
+	r.cfg.Monitors.ResetPath(pathID)
+	s := r.state
+	s.setI(wTaskIdx, 0)
+	s.setI(wStatus, statusReady)
+	s.setB(wEvDelivered, true)
+	s.commit()
+}
+
+// skipPath abandons the current path and proceeds to the next one.
+func (r *Runtime) skipPath(pathID int) {
+	r.cfg.Monitors.ResetPath(pathID)
+	r.advancePath()
+}
+
+// enterCompleteMode implements completePath (Table 1): the rest of the
+// current path executes without property checking, and no further paths run
+// this round; monitored execution resumes at the next round (the preserved
+// next task is the following round's first task).
+func (r *Runtime) enterCompleteMode() {
+	s := r.state
+	s.setB(wCompleteMode, true)
+	if s.getI(wStatus) == statusFinished {
+		// The violating task completed; continue after it.
+		path := r.currentPath()
+		next := s.getI(wTaskIdx) + 1
+		if int(next) >= len(path.Tasks) {
+			r.finishCompleteMode()
+			return
+		}
+		s.setI(wTaskIdx, next)
+	}
+	s.setI(wStatus, statusReady)
+	s.setB(wEvDelivered, true)
+	s.commit()
+}
+
+// stepUnmonitored runs one task of the completing path without events.
+func (r *Runtime) stepUnmonitored() (bool, error) {
+	if err := r.runCurrentTask(); err != nil {
+		return false, err
+	}
+	s := r.state
+	path := r.currentPath()
+	next := s.getI(wTaskIdx) + 1
+	if int(next) < len(path.Tasks) {
+		s.setI(wTaskIdx, next)
+		s.setI(wStatus, statusReady)
+		s.commit()
+		return false, nil
+	}
+	r.finishCompleteMode()
+	return r.state.getB(wAppDone), nil
+}
+
+// finishCompleteMode ends the completing path: no further paths execute
+// this round ("immediate termination of the current path without executing
+// any further paths").
+func (r *Runtime) finishCompleteMode() {
+	s := r.state
+	s.setB(wCompleteMode, false)
+	round := s.getI(wRound) + 1
+	if int(round) >= r.cfg.Rounds {
+		s.setB(wAppDone, true)
+		s.commit()
+		return
+	}
+	s.setI(wRound, round)
+	s.setI(wPathIdx, 0)
+	s.setI(wTaskIdx, 0)
+	s.setI(wStatus, statusReady)
+	s.setB(wEvDelivered, true)
+	s.commit()
+}
+
+// Snapshot reports the persistent control state, for tests and tools.
+type Snapshot struct {
+	PathID    int
+	TaskName  string
+	Status    int64
+	Round     int64
+	Done      bool
+	Complete  bool
+	EventSeq  uint64
+	Delivered bool
+}
+
+// Snapshot reads the current control state.
+func (r *Runtime) Snapshot() Snapshot {
+	s := r.state
+	return Snapshot{
+		PathID:    r.currentPath().ID,
+		TaskName:  r.currentTask().Name,
+		Status:    s.getI(wStatus),
+		Round:     s.getI(wRound),
+		Done:      s.getB(wAppDone),
+		Complete:  s.getB(wCompleteMode),
+		EventSeq:  s.get(wEvSeq),
+		Delivered: s.getB(wEvDelivered),
+	}
+}

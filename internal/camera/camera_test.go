@@ -1,0 +1,209 @@
+package camera
+
+import (
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/artemis"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+type rig struct {
+	dev   *device.Device
+	rt    *artemis.Runtime
+	store *task.Store
+	app   *App
+}
+
+func newRig(t *testing.T, supply energy.Supply, chunksPerFrame, rounds int) *rig {
+	t.Helper()
+	mem := nvm.New(256 * 1024)
+	mcu, err := device.NewMCU(&simclock.Clock{}, mem, supply, device.MSP430FR5994())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := New(mem, chunksPerFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := task.NewStore(mem, "app", Keys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mons, err := monitor.NewSet(mem, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := artemis.New(artemis.Config{
+		MCU: mcu, Graph: app.Graph, Store: store, Monitors: mons,
+		Rounds: rounds,
+		Extras: []task.Persistent{app.Chunks},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{dev: &device.Device{MCU: mcu, MaxReboots: 400}, rt: rt, store: store, app: app}
+}
+
+func TestNewValidation(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	if _, err := New(mem, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	if _, err := New(mem, ChunkCap+1); err == nil {
+		t.Error("oversized chunks accepted")
+	}
+}
+
+func TestContinuousPower(t *testing.T) {
+	r := newRig(t, &energy.Continuous{}, 2, 3)
+	res, err := r.dev.Run(r.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Reboots != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := r.store.Get("frames"); got != 3 {
+		t.Errorf("frames = %g, want 3", got)
+	}
+	if got := r.store.Get("chunksMade"); got != 6 {
+		t.Errorf("chunksMade = %g, want 6", got)
+	}
+	// One chunk drains per round.
+	if got := r.store.Get("chunksSent"); got != 3 {
+		t.Errorf("chunksSent = %g, want 3", got)
+	}
+	if got := r.app.Chunks.Len(); got != 3 {
+		t.Errorf("backlog = %d, want 3", got)
+	}
+	if r.store.Get("classification") != 1 {
+		t.Error("classification missing")
+	}
+	// Chunks drain oldest-first: after three sends (frame 1's pair and
+	// frame 2's first chunk), the head is frame 2's second chunk.
+	items := r.app.Chunks.Items()
+	if items[0] != 2*100+1 {
+		t.Errorf("backlog head = %g, want 201 (frame 2 chunk 1)", items[0])
+	}
+}
+
+// chunkConservation asserts the invariant a crash must never break:
+// made == sent + backlog, with no duplicates and no losses.
+func chunkConservation(t *testing.T, r *rig) {
+	t.Helper()
+	made := r.store.Get("chunksMade")
+	sent := r.store.Get("chunksSent")
+	backlog := float64(r.app.Chunks.Len())
+	if made != sent+backlog {
+		t.Fatalf("chunk conservation violated: made %g != sent %g + backlog %g",
+			made, sent, backlog)
+	}
+}
+
+func TestIntermittentConservation(t *testing.T) {
+	supply, err := energy.NewFixedDelaySupply(energy.Microjoules(1600), simclock.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, supply, 2, 3)
+	res, err := r.dev.Run(r.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.Reboots == 0 {
+		t.Fatal("expected power failures under a 1600 µJ budget")
+	}
+	chunkConservation(t, r)
+	if got := r.store.Get("frames"); got < 1 {
+		t.Errorf("frames = %g", got)
+	}
+}
+
+func TestCrashSweepConservation(t *testing.T) {
+	// A forced failure at assorted execution offsets must never break chunk
+	// conservation — the channel commits atomically with the task boundary.
+	ref := newRig(t, &energy.Continuous{}, 2, 2)
+	refRes, err := ref.dev.Run(ref.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := refRes.Active / 23
+	for off := simclock.Duration(1); off < refRes.Active; off += step {
+		r := newRig(t, &energy.Continuous{}, 2, 2)
+		armed := false
+		boot := func() error {
+			if !armed {
+				armed = true
+				r.dev.MCU.ArmFailureAfter(off)
+			}
+			return r.rt.Boot()
+		}
+		res, err := r.dev.Run(boot)
+		if err != nil {
+			t.Fatalf("crash at %v: %v", off, err)
+		}
+		if !res.Completed {
+			t.Fatalf("crash at %v: incomplete", off)
+		}
+		chunkConservation(t, r)
+	}
+}
+
+func TestMinEnergySkipsCaptureWhenPoor(t *testing.T) {
+	// 2350 µJ per boot: round 1 drains ~1630 µJ, so round 2's capture
+	// start sees ~700 µJ < 1000 µJ and the minEnergy property skips path 1
+	// — the node serves its backlog instead of starting a doomed capture,
+	// and the remaining charge still covers the round-2 transmission.
+	supply, err := energy.NewFixedDelaySupply(energy.Microjoules(2350), simclock.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, supply, 2, 2)
+	res, err := r.dev.Run(r.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	st := r.rt.Stats()
+	if st.PathSkips < 1 {
+		t.Fatalf("PathSkips = %d, want >= 1 (minEnergy)", st.PathSkips)
+	}
+	if got := r.store.Get("frames"); got != 1 {
+		t.Errorf("frames = %g, want 1 (second capture skipped)", got)
+	}
+	chunkConservation(t, r)
+	// The energy-aware node never browned out: skipping was enough.
+	if res.Reboots != 0 {
+		t.Errorf("reboots = %d, want 0", res.Reboots)
+	}
+}
+
+func TestSendChunkSingleRound(t *testing.T) {
+	// One round, one chunk per frame: the pipeline produces and delivers a
+	// single chunk.
+	r := newRig(t, &energy.Continuous{}, 1, 1)
+	res, err := r.dev.Run(r.rt.Boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if got := r.store.Get("chunksSent"); got != 1 {
+		t.Errorf("chunksSent = %g, want 1", got)
+	}
+}

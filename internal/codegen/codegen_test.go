@@ -1,0 +1,175 @@
+package codegen
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
+)
+
+func healthProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	res, err := health.New().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Program
+}
+
+func TestGenerateParsesAsGo(t *testing.T) {
+	src, err := Generate(healthProgram(t), "monitors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "monitors.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	if !bytes.Contains(src, []byte("package monitors")) {
+		t.Fatal("wrong package clause")
+	}
+	if !bytes.Contains(src, []byte("DO NOT EDIT")) {
+		t.Fatal("missing generated-code marker")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(healthProgram(t), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(healthProgram(t), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateRejectsInvalidProgram(t *testing.T) {
+	bad := &ir.Program{Machines: []*ir.Machine{{Name: "m"}}} // no states
+	if _, err := Generate(bad, "m"); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestGenerateHandWrittenIR(t *testing.T) {
+	prog := ir.MustParse(`
+machine Custom {
+    var n: int = 0
+    var avg: float = 0.0
+    var armed: bool = false
+    initial state S {
+        on start [task == "x" && !armed] -> S { armed = true; n = 0; }
+        on end [task == "x"] -> S {
+            n = n + 1;
+            avg = (avg * (n - 1) + data) / n;
+            if avg > 50.0 { fail completePath; } else { n = n; }
+        }
+        on any [n % 2 == 0 && -n < 1] -> S;
+    }
+}`)
+	src, err := Generate(prog, "custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "custom.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{"float64", "int64", "bool", "action.CompletePath"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	cases := map[string]string{
+		"maxTries_accel":  "MaxTries_Accel",
+		"MITD_send_accel": "MITD_Send_Accel",
+		"collect_a_b":     "Collect_A_B",
+		"x":               "X",
+	}
+	for in, want := range cases {
+		if got := typeName(in); got != want {
+			t.Errorf("typeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMachineNamesSorted(t *testing.T) {
+	names := MachineNames(healthProgram(t))
+	if len(names) != 8 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}
+
+// TestGenerateTypeErrors: machines that pass the IR's structural Check but
+// fail codegen's static typing must be rejected with errors, not emitted as
+// broken Go.
+func TestGenerateTypeErrors(t *testing.T) {
+	mk := func(guard ir.Expr, body []ir.Stmt, vars ...ir.VarDecl) *ir.Program {
+		return &ir.Program{Machines: []*ir.Machine{{
+			Name: "m", Vars: vars, Initial: "s",
+			States: []ir.State{{Name: "s", Transitions: []ir.Transition{{
+				Trigger: ir.TrigAny, Guard: guard, Target: "s", Body: body,
+			}}}},
+		}}}
+	}
+	i := func(n int64) ir.Expr { return ir.Lit{V: ir.Int(n)} }
+	id := func(n string) ir.Expr { return ir.Ident{Name: n} }
+	intVar := ir.VarDecl{Name: "x", Type: ir.TInt, Init: ir.Int(0)}
+	boolVar := ir.VarDecl{Name: "b", Type: ir.TBool, Init: ir.Bool(false)}
+
+	cases := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"guard not bool", mk(i(5), nil)},
+		{"order strings", mk(ir.Binary{Op: "<", L: id("task"), R: id("task")}, nil)},
+		{"and on ints", mk(ir.Binary{Op: "&&", L: i(1), R: i(2)}, nil)},
+		{"eq across string/int", mk(ir.Binary{Op: "==", L: id("task"), R: i(1)}, nil)},
+		{"mod on float", mk(ir.Binary{Op: "%", L: id("data"), R: i(2)}, nil)},
+		{"arith on bool", mk(ir.Binary{Op: "+", L: id("b"), R: i(1)}, nil, boolVar)},
+		{"negate bool", mk(ir.Unary{Op: "-", X: id("b")}, nil, boolVar)},
+		{"not int", mk(ir.Unary{Op: "!", X: i(1)}, nil)},
+		{"if cond not bool", mk(nil, []ir.Stmt{ir.If{Cond: i(1)}})},
+		{"assign string to int", mk(nil, []ir.Stmt{ir.Assign{Name: "x", X: ir.Lit{V: ir.Str("s")}}}, intVar)},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.prog, "m"); err == nil {
+			t.Errorf("%s: generated successfully", tc.name)
+		}
+	}
+}
+
+func TestGenerateIntFloatWidening(t *testing.T) {
+	prog := ir.MustParse(`
+machine W {
+    var f: float = 0.5
+    var n: int = 0
+    initial state S {
+        on any [f < n + 1 && n <= f * 2.0] -> S { n = f; f = n; }
+    }
+}`)
+	src, err := Generate(prog, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"float64(", "int64("} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("widening conversion %q missing:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package gen_test proves the two monitor execution paths equivalent: the
+// checked-in generated Go monitors (this package) must produce exactly the
+// same verdict stream as the IR interpreter over any event sequence, and
+// the checked-in source must be exactly what the generator emits today.
+package gen_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/codegen"
+	"github.com/tinysystems/artemis-go/internal/codegen/gen"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+func TestGoldenMatchesGenerator(t *testing.T) {
+	res, err := health.New().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codegen.Generate(res.Program, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("health.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("checked-in health.go is stale; regenerate with: go run ./cmd/artemisgen -app health -emit go -pkg gen -o internal/codegen/gen/health.go")
+	}
+}
+
+func TestProgramShape(t *testing.T) {
+	steppers := gen.NewProgram()
+	if len(steppers) != 8 {
+		t.Fatalf("steppers = %d, want 8", len(steppers))
+	}
+	seen := map[string]bool{}
+	for _, s := range steppers {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate stepper %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestGeneratedMaxTriesBehaviour(t *testing.T) {
+	var mt codegen.Stepper
+	for _, s := range gen.NewProgram() {
+		if s.Name() == "maxTries_accel" {
+			mt = s
+		}
+	}
+	if mt == nil {
+		t.Fatal("maxTries_accel stepper missing")
+	}
+	for i := 0; i < 10; i++ {
+		fs := mt.Step(ir.Event{Kind: ir.EvStart, Task: "accel", Time: simclock.Time(i), Path: 2})
+		if len(fs) != 0 {
+			t.Fatalf("attempt %d: failures %v", i, fs)
+		}
+	}
+	fs := mt.Step(ir.Event{Kind: ir.EvStart, Task: "accel", Time: 100, Path: 2})
+	if len(fs) != 1 || fs[0].Action != action.SkipPath {
+		t.Fatalf("failures = %v, want skipPath", fs)
+	}
+	mt.Reset()
+	if fs := mt.Step(ir.Event{Kind: ir.EvStart, Task: "accel", Time: 200, Path: 2}); len(fs) != 0 {
+		t.Fatalf("after reset: %v", fs)
+	}
+}
+
+// The equivalence property: generated code and interpreter agree on every
+// verdict for arbitrary event streams over the benchmark's alphabet.
+func TestGeneratedMatchesInterpreterProperty(t *testing.T) {
+	res, err := health.New().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := res.Program.Machines
+	tasks := []string{"bodyTemp", "calcAvg", "heartRate", "accel", "filter", "classify", "micSense", "send"}
+
+	f := func(kinds []bool, taskSel, pathSel []uint8, gaps []uint16, temps []uint8) bool {
+		steppers := gen.NewProgram()
+		byName := map[string]codegen.Stepper{}
+		for _, s := range steppers {
+			byName[s.Name()] = s
+		}
+		envs := make([]*ir.VolatileEnv, len(machines))
+		for i, m := range machines {
+			envs[i] = ir.NewVolatileEnv(m)
+		}
+		at := simclock.Duration(0)
+		for i := range kinds {
+			if i >= 60 {
+				break
+			}
+			at += simclock.Duration(pick16(gaps, i)) * simclock.Millisecond
+			ev := ir.Event{
+				Task: tasks[pick8(taskSel, i)%len(tasks)],
+				Time: simclock.Time(at),
+				Path: 1 + pick8(pathSel, i)%3,
+				Data: 30 + float64(pick8(temps, i)%12),
+			}
+			if kinds[i] {
+				ev.Kind = ir.EvEnd
+			}
+			for mi, m := range machines {
+				want, err := ir.Step(m, envs[mi], ev)
+				if err != nil {
+					return false
+				}
+				got := byName[m.Name].Step(ev)
+				if len(got) != len(want) {
+					return false
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pick8(xs []uint8, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return int(xs[i%len(xs)])
+}
+
+func pick16(xs []uint16, i int) int {
+	if len(xs) == 0 {
+		return 1
+	}
+	return int(xs[i%len(xs)])
+}

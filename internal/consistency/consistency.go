@@ -1,0 +1,318 @@
+// Package consistency statically analyses a property specification against
+// the task graph and the device cost model, implementing the paper's §7
+// "Property Consistency Checking" direction: "the simultaneous use of
+// time-related properties ... may lead to inconsistent specification.
+// Inconsistency means that there is no sequence of task executions that
+// satisfies all constraints."
+//
+// The analysis is a lightweight, profile-aware timing/energy bound
+// computation in the spirit of the paper's compile-time counterpart ETAP:
+// each task's minimum execution time and energy follow from its declared
+// cycles and peripheral operations under the device profile (Run-function
+// work is not statically visible, so all bounds are lower bounds — the
+// analysis only reports properties that are impossible even under the most
+// optimistic schedule, plus heuristic warnings).
+package consistency
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+// Severities.
+const (
+	// Error marks a property no execution can satisfy.
+	Error Severity = iota
+	// Warning marks a likely specification problem.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	Severity Severity
+	Task     string
+	Kind     spec.Kind
+	Pos      spec.Position
+	Msg      string
+}
+
+func (f Finding) String() string {
+	if f.Kind == 0 {
+		return fmt.Sprintf("%v: %v: task %q: %s", f.Pos, f.Severity, f.Task, f.Msg)
+	}
+	return fmt.Sprintf("%v: %v: %v property of %q: %s", f.Pos, f.Severity, f.Kind, f.Task, f.Msg)
+}
+
+// Options configures the analysis.
+type Options struct {
+	Graph   *task.Graph
+	Profile device.Profile
+	// BudgetUJ, when positive, is the usable energy per boot; it enables
+	// the energy-feasibility checks.
+	BudgetUJ float64
+}
+
+// Analyze checks every property of the specification. The specification
+// must already validate against the graph (spec.Validate); Analyze assumes
+// well-formed input and focuses on semantic consistency.
+func Analyze(s *spec.Spec, opts Options) ([]Finding, error) {
+	if opts.Graph == nil {
+		return nil, fmt.Errorf("consistency: Options.Graph is required")
+	}
+	if err := opts.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	a := &analyzer{opts: opts}
+	var findings []Finding
+	for _, blk := range s.Blocks {
+		for _, p := range blk.Props {
+			findings = append(findings, a.check(blk.Task, p)...)
+		}
+		// Energy feasibility is a per-task fact; report it once per block.
+		if opts.BudgetUJ > 0 {
+			if t := opts.Graph.Task(blk.Task); t != nil {
+				if need := a.minTaskEnergy(t) * 1e6; need > opts.BudgetUJ {
+					findings = append(findings, Finding{
+						Severity: Error, Task: blk.Task, Pos: blk.Pos,
+						Msg: fmt.Sprintf("task needs at least %.0f µJ per execution but the boot budget is %g µJ: it can never complete (guaranteed non-termination without a skip guard)",
+							need, opts.BudgetUJ),
+					})
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+type analyzer struct {
+	opts Options
+}
+
+// minTaskTime is the lower bound on one execution of the task: declared
+// cycles plus peripheral latencies (Run-function work adds on top).
+func (a *analyzer) minTaskTime(t *task.Task) simclock.Duration {
+	d := simclock.CyclesToDuration(t.Cycles, a.opts.Profile.ClockHz)
+	for _, p := range t.Peripherals {
+		if op, ok := a.opts.Profile.Peripherals[p]; ok {
+			d += op.Latency
+		}
+	}
+	return d
+}
+
+// minTaskEnergy is the lower bound on one execution's energy draw.
+func (a *analyzer) minTaskEnergy(t *task.Task) float64 {
+	d := simclock.CyclesToDuration(t.Cycles, a.opts.Profile.ClockHz)
+	e := float64(a.opts.Profile.ActivePower.Over(d))
+	for _, p := range t.Peripherals {
+		if op, ok := a.opts.Profile.Peripherals[p]; ok {
+			e += float64(op.Energy) + float64(a.opts.Profile.ActivePower.Over(op.Latency))
+		}
+	}
+	return e
+}
+
+// segmentTime is the minimum time from the end of task `from` to the start
+// of task `to` along one path: the sum of the minimum execution times of
+// the tasks strictly between them.
+func (a *analyzer) segmentTime(p *task.Path, from, to string) (simclock.Duration, bool) {
+	fromIdx, toIdx := -1, -1
+	for i, t := range p.Tasks {
+		if t.Name == from && fromIdx < 0 {
+			fromIdx = i
+		}
+		if t.Name == to {
+			toIdx = i
+		}
+	}
+	if fromIdx < 0 || toIdx < 0 || fromIdx >= toIdx {
+		return 0, false
+	}
+	var d simclock.Duration
+	for i := fromIdx + 1; i < toIdx; i++ {
+		d += a.minTaskTime(p.Tasks[i])
+	}
+	return d, true
+}
+
+// pathsToCheck resolves which paths a property applies to.
+func (a *analyzer) pathsToCheck(taskName string, p spec.Property) []*task.Path {
+	var out []*task.Path
+	for _, id := range a.opts.Graph.PathsContaining(taskName) {
+		if p.Path == 0 || p.Path == id {
+			out = append(out, a.opts.Graph.PathByID(id))
+		}
+	}
+	return out
+}
+
+func (a *analyzer) check(taskName string, p spec.Property) []Finding {
+	var fs []Finding
+	add := func(sev Severity, format string, args ...any) {
+		fs = append(fs, Finding{
+			Severity: sev, Task: taskName, Kind: p.Kind, Pos: p.Pos,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	t := a.opts.Graph.Task(taskName)
+	if t == nil {
+		return fs // spec.Validate reports this
+	}
+
+	switch p.Kind {
+	case spec.KindMaxDuration:
+		if min := a.minTaskTime(t); min > p.Duration {
+			add(Error, "can never be satisfied: the task's declared work alone takes at least %v > %v",
+				min, p.Duration)
+		}
+
+	case spec.KindMITD:
+		for _, path := range a.pathsToCheck(taskName, p) {
+			seg, ok := a.segmentTime(path, p.DpTask, taskName)
+			if !ok {
+				add(Error, "dpTask %q does not precede %q in path %d: the data can never arrive",
+					p.DpTask, taskName, path.ID)
+				continue
+			}
+			if seg > p.Duration {
+				add(Error, "can never be satisfied in path %d: the tasks between %q and %q take at least %v > %v",
+					path.ID, p.DpTask, taskName, seg, p.Duration)
+			}
+		}
+
+	case spec.KindCollect:
+		producerPaths := a.opts.Graph.PathsContaining(p.DpTask)
+		if len(producerPaths) == 0 {
+			add(Error, "dpTask %q is in no path: nothing ever produces the data", p.DpTask)
+			break
+		}
+		// The producer must be reachable before the consumer: in the same
+		// path ahead of it (each traversal yields one item, restarts
+		// accumulate) or in an earlier path.
+		feasible := false
+		for _, path := range a.pathsToCheck(taskName, p) {
+			if _, ok := a.segmentTimeInclusive(path, p.DpTask, taskName); ok {
+				feasible = true
+			}
+		}
+		consumerFirst := a.firstPathIndex(taskName, p)
+		for _, id := range producerPaths {
+			if a.opts.Graph.PathIndex(id) < consumerFirst {
+				feasible = true
+			}
+		}
+		if !feasible {
+			add(Error, "dpTask %q never executes before %q: the collection can never reach %d",
+				p.DpTask, taskName, p.Count)
+		} else if p.OnFail != spec.ActionRestartPath {
+			for _, path := range a.pathsToCheck(taskName, p) {
+				if _, ok := a.segmentTimeInclusive(path, p.DpTask, taskName); ok && p.Count > 1 {
+					add(Warning, "needs %d items but one traversal of path %d produces one; without onFail: restartPath the count may never be reached",
+						p.Count, path.ID)
+				}
+			}
+		}
+
+	case spec.KindPeriod:
+		// A task starts at most once per round; a period shorter than the
+		// fastest possible round is unsatisfiable from the second start on.
+		var round simclock.Duration
+		for _, path := range a.opts.Graph.Paths {
+			for _, tt := range path.Tasks {
+				round += a.minTaskTime(tt)
+			}
+		}
+		if round > p.Duration+p.Jitter {
+			add(Error, "can never be satisfied: a full round takes at least %v > period+jitter %v",
+				round, p.Duration+p.Jitter)
+		}
+
+	case spec.KindMinEnergy:
+		if a.opts.BudgetUJ > 0 && p.EnergyUJ > a.opts.BudgetUJ {
+			add(Error, "threshold %g µJ exceeds the boot budget %g µJ: the task would never start",
+				p.EnergyUJ, a.opts.BudgetUJ)
+		}
+		if need := a.minTaskEnergy(t) * 1e6; p.EnergyUJ < need {
+			add(Warning, "threshold %g µJ is below the task's own minimum draw %.0f µJ: doomed executions still start",
+				p.EnergyUJ, need)
+		}
+	}
+
+	// The paper's headline lesson as a lint: a time-related property that
+	// answers every violation with restartPath and has no maxAttempt bound
+	// re-executes forever once ambient conditions make it unsatisfiable —
+	// the Mayfly non-termination of Figure 12.
+	if (p.Kind == spec.KindMITD || p.Kind == spec.KindPeriod) &&
+		p.OnFail == spec.ActionRestartPath && p.MaxAttempt == 0 {
+		add(Warning, "restartPath without a maxAttempt bound: a charging delay beyond %v makes this property unsatisfiable and the path re-executes forever (Figure 12's non-termination); add maxAttempt with a skip action", p.Duration)
+	}
+	return fs
+}
+
+// segmentTimeInclusive reports whether from precedes to in the path.
+func (a *analyzer) segmentTimeInclusive(p *task.Path, from, to string) (simclock.Duration, bool) {
+	return a.segmentTime(p, from, to)
+}
+
+// firstPathIndex is the execution-order index of the first path the
+// property applies to.
+func (a *analyzer) firstPathIndex(taskName string, p spec.Property) int {
+	idx := len(a.opts.Graph.Paths)
+	for _, path := range a.pathsToCheck(taskName, p) {
+		if i := a.opts.Graph.PathIndex(path.ID); i < idx {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// HasErrors reports whether any finding is an Error.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Render prints findings one per line; empty input renders a clean bill.
+func Render(fs []Finding) string {
+	if len(fs) == 0 {
+		return "no inconsistencies found\n"
+	}
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// EnergyOf exposes the per-task minimum energy bound for tools.
+func EnergyOf(t *task.Task, prof device.Profile) energy.Joules {
+	a := &analyzer{opts: Options{Profile: prof}}
+	return energy.Joules(a.minTaskEnergy(t))
+}
+
+// TimeOf exposes the per-task minimum time bound for tools.
+func TimeOf(t *task.Task, prof device.Profile) simclock.Duration {
+	a := &analyzer{opts: Options{Profile: prof}}
+	return a.minTaskTime(t)
+}

@@ -1,0 +1,254 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/mayflyspec"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+func analyze(t *testing.T, g *task.Graph, src string, budgetUJ float64) []Finding {
+	t.Helper()
+	s := spec.MustParse(src)
+	fs, err := Analyze(s, Options{Graph: g, Profile: device.MSP430FR5994(), BudgetUJ: budgetUJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func onlyErrors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestPaperSpecIsConsistent(t *testing.T) {
+	app := health.New()
+	fs := analyze(t, app.Graph, health.SpecSource, 800)
+	if errs := onlyErrors(fs); len(errs) != 0 {
+		t.Fatalf("paper spec flagged: %v", errs)
+	}
+}
+
+func TestMaxDurationBelowTaskMinimum(t *testing.T) {
+	app := health.New()
+	// send's BLE transmission alone takes 50 ms; a 10 ms bound is
+	// unsatisfiable.
+	fs := analyze(t, app.Graph, `send { maxDuration: 10ms onFail: skipTask; }`, 0)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "can never be satisfied") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// 200 ms is fine.
+	fs = analyze(t, app.Graph, `send { maxDuration: 200ms onFail: skipTask; }`, 0)
+	if len(onlyErrors(fs)) != 0 {
+		t.Fatalf("satisfiable bound flagged: %v", fs)
+	}
+}
+
+func TestMITDConsistency(t *testing.T) {
+	app := health.New()
+	// filter+classify take 50 ms between accel and send; a 10 ms MITD is
+	// impossible even on continuous power.
+	fs := analyze(t, app.Graph,
+		`send { MITD: 10ms dpTask: accel onFail: restartPath Path: 2; }`, 0)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "can never be satisfied in path 2") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// Data flowing against path order can never arrive.
+	fs = analyze(t, app.Graph,
+		`accel { MITD: 5min dpTask: send onFail: restartPath Path: 2; }`, 0)
+	errs = onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "does not precede") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// The paper's 5-minute MITD is consistent.
+	fs = analyze(t, app.Graph,
+		`send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }`, 0)
+	if len(onlyErrors(fs)) != 0 {
+		t.Fatalf("paper MITD flagged: %v", fs)
+	}
+}
+
+func TestCollectConsistency(t *testing.T) {
+	app := health.New()
+	// heartRate runs after calcAvg in path 1 and in no earlier path: the
+	// collection can never be satisfied (this is the livelock scenario the
+	// runtime tests exercise dynamically; the analyzer catches it
+	// statically).
+	fs := analyze(t, app.Graph,
+		`bodyTemp { collect: 5 dpTask: heartRate onFail: restartPath; }`, 0)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "never executes before") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// A producer in an earlier path is fine: send (paths 1,2,3) collecting
+	// from bodyTemp (path 1).
+	fs = analyze(t, app.Graph,
+		`send { collect: 1 dpTask: bodyTemp onFail: restartPath Path: 3; }`, 0)
+	if len(onlyErrors(fs)) != 0 {
+		t.Fatalf("cross-path collection flagged: %v", fs)
+	}
+	// Multi-item collection without restartPath draws a warning.
+	fs = analyze(t, app.Graph,
+		`calcAvg { collect: 10 dpTask: bodyTemp onFail: skipPath; }`, 0)
+	warned := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "restartPath") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no restartPath warning: %v", fs)
+	}
+}
+
+func TestPeriodConsistency(t *testing.T) {
+	app := health.New()
+	// A full round takes ~340 ms of task work; a 100 ms period with no
+	// jitter can never hold between consecutive rounds.
+	fs := analyze(t, app.Graph, `bodyTemp { period: 100ms onFail: restartTask; }`, 0)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "full round") {
+		t.Fatalf("findings = %v", fs)
+	}
+	fs = analyze(t, app.Graph, `bodyTemp { period: 10s onFail: restartTask; }`, 0)
+	if len(onlyErrors(fs)) != 0 {
+		t.Fatalf("satisfiable period flagged: %v", fs)
+	}
+}
+
+func TestEnergyFeasibility(t *testing.T) {
+	app := health.New()
+	// accel needs ~435 µJ; a 300 µJ budget guarantees it never completes.
+	fs := analyze(t, app.Graph, `accel { maxTries: 10 onFail: skipPath; }`, 300)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "can never complete") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// With an 800 µJ budget it is feasible.
+	fs = analyze(t, app.Graph, `accel { maxTries: 10 onFail: skipPath; }`, 800)
+	if len(onlyErrors(fs)) != 0 {
+		t.Fatalf("feasible task flagged: %v", fs)
+	}
+}
+
+func TestMinEnergyConsistency(t *testing.T) {
+	app := health.New()
+	// Threshold above the whole boot budget: the task would never start.
+	fs := analyze(t, app.Graph, `accel { minEnergy: 900uJ onFail: skipTask; }`, 800)
+	errs := onlyErrors(fs)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "exceeds the boot budget") {
+		t.Fatalf("findings = %v", fs)
+	}
+	// Threshold below the task's own draw: warning (doomed starts pass).
+	fs = analyze(t, app.Graph, `accel { minEnergy: 100uJ onFail: skipTask; }`, 800)
+	warned := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "doomed") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no doomed-start warning: %v", fs)
+	}
+	// A threshold covering the draw is clean.
+	fs = analyze(t, app.Graph, `accel { minEnergy: 500uJ onFail: skipTask; }`, 800)
+	if len(fs) != 0 {
+		t.Fatalf("sound minEnergy flagged: %v", fs)
+	}
+}
+
+func TestRenderAndHasErrors(t *testing.T) {
+	app := health.New()
+	fs := analyze(t, app.Graph, `send { maxDuration: 10ms onFail: skipTask; }`, 0)
+	if !HasErrors(fs) {
+		t.Fatal("HasErrors false")
+	}
+	out := Render(fs)
+	if !strings.Contains(out, "error") || !strings.Contains(out, "maxDuration") {
+		t.Fatalf("render = %q", out)
+	}
+	if got := Render(nil); !strings.Contains(got, "no inconsistencies") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(&spec.Spec{}, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad := device.MSP430FR5994()
+	bad.ClockHz = 0
+	if _, err := Analyze(&spec.Spec{}, Options{Graph: health.New().Graph, Profile: bad}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	prof := device.MSP430FR5994()
+	tk := &task.Task{Name: "x", Cycles: 1000, Peripherals: []string{"ble"}}
+	if got := TimeOf(tk, prof); got != simclock.Millisecond+prof.Peripherals["ble"].Latency {
+		t.Fatalf("TimeOf = %v", got)
+	}
+	if got := EnergyOf(tk, prof); float64(got) < float64(prof.Peripherals["ble"].Energy) {
+		t.Fatalf("EnergyOf = %v too small", got)
+	}
+}
+
+func TestUnboundedRestartWarning(t *testing.T) {
+	app := health.New()
+	// The Mayfly-style MITD (restartPath, no maxAttempt) draws the
+	// non-termination warning...
+	fs := analyze(t, app.Graph,
+		`send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }`, 0)
+	warned := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "forever") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no non-termination warning: %v", fs)
+	}
+	// ...while the paper's Figure-5 property (maxAttempt: 3) is clean.
+	fs = analyze(t, app.Graph, health.SpecSource, 800)
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "forever") {
+			t.Fatalf("bounded spec warned: %v", f)
+		}
+	}
+}
+
+func TestMayflyTranslationDrawsWarning(t *testing.T) {
+	// The legacy frontend inherits Mayfly's restart-forever semantics; the
+	// analyzer flags the translation so users know to add a bound.
+	s, err := mayflyspec.Compile(mayflyspec.HealthSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Analyze(s, Options{Graph: health.New().Graph, Profile: device.MSP430FR5994()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warned := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "forever") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("translated Mayfly spec not flagged: %v", fs)
+	}
+}

@@ -1,0 +1,356 @@
+// Package core is the assembly facade of the framework: one call builds a
+// complete simulated deployment — MSP430-class device, FRAM, power supply,
+// task store, compiled monitors, and the chosen runtime (ARTEMIS or the
+// Mayfly baseline) — and runs the application on intermittent power.
+//
+// Examples and the experiment harness both build on this package; the
+// underlying pieces remain individually usable for finer control.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/tinysystems/artemis-go/internal/artemis"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/mayfly"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/transform"
+)
+
+// System selects the runtime under test.
+type System int
+
+// Systems.
+const (
+	Artemis System = iota
+	Mayfly
+)
+
+func (s System) String() string {
+	switch s {
+	case Artemis:
+		return "ARTEMIS"
+	case Mayfly:
+		return "Mayfly"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// SupplyKind selects the power-supply model.
+type SupplyKind int
+
+// Supply kinds.
+const (
+	// SupplyContinuous is the bench supply of Figures 14/15.
+	SupplyContinuous SupplyKind = iota
+	// SupplyFixedDelay is the evaluation model: a fixed usable-energy
+	// budget per boot and a fixed charging delay (Figures 12/16).
+	SupplyFixedDelay
+	// SupplyHarvested is the physical capacitor + harvester model.
+	SupplyHarvested
+)
+
+// SupplyConfig describes the power source.
+type SupplyConfig struct {
+	Kind SupplyKind
+
+	// Fixed-delay parameters.
+	BudgetUJ float64
+	Delay    simclock.Duration
+
+	// Harvested parameters.
+	CapacitanceF float64
+	VMax         float64
+	VOn          float64
+	VOff         float64
+	HarvestW     float64
+}
+
+// Config describes one deployment.
+type Config struct {
+	System System
+
+	// Graph and StoreKeys define the application.
+	Graph     *task.Graph
+	StoreKeys []string
+
+	// SpecSource is the ARTEMIS property specification (ignored by Mayfly).
+	SpecSource string
+	// Constraints is the Mayfly constraint set (ignored by ARTEMIS).
+	Constraints []mayfly.Constraint
+
+	Supply SupplyConfig
+
+	// Profile defaults to MSP430FR5994.
+	Profile *device.Profile
+	// MemBytes defaults to 256 KiB (the MSP430FR5994's FRAM).
+	MemBytes int
+	// Rounds defaults to 1.
+	Rounds int
+	// MaxReboots defaults to 1000; exhausting it reports non-termination.
+	MaxReboots int
+	// MaxSteps bounds runtime-loop iterations (livelock guard).
+	MaxSteps int
+
+	// OnDecision observes ARTEMIS decisions (ignored by Mayfly); experiment
+	// harnesses use it to reconstruct timelines.
+	OnDecision func(ev monitor.Event, d monitor.Decision)
+
+	// RemoteMonitors deploys the ARTEMIS monitors on an external wireless
+	// device (§7 "Implementation Alternatives"): the host pays per-event
+	// radio costs instead of on-device evaluation costs.
+	RemoteMonitors bool
+	// ContinuationMonitors dispatches events through an
+	// ImmortalThreads-style persistent continuation (§4.2.3), the paper's
+	// own mechanism, instead of the default commit/replay dispatch.
+	ContinuationMonitors bool
+	// RadioCost overrides the default BLE-class exchange cost when
+	// RemoteMonitors is set.
+	RadioCost *monitor.RadioCost
+
+	// BuildApp, when set, constructs the application against the
+	// framework's NVM — for apps whose graphs close over persistent
+	// structures (channels). It returns the graph plus the extra
+	// persistents to commit at task boundaries; Config.Graph must be nil.
+	BuildApp func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error)
+
+	// ClockDriftPPM and ClockOffJitterPPM configure the persistent
+	// timekeeper's error model (crystal drift while on; off-period
+	// estimation error, seeded by ClockSeed). Zero means a perfect clock —
+	// the paper's assumption.
+	ClockDriftPPM     float64
+	ClockOffJitterPPM float64
+	ClockSeed         int64
+}
+
+// Report summarises one application run.
+type Report struct {
+	System System
+	device.RunResult
+	// NonTerminated is set when the reboot budget or step budget was
+	// exhausted — the Figure-12 Mayfly outcome.
+	NonTerminated bool
+	// Breakdown attributes active time and energy to components.
+	Breakdown map[device.Component]device.Usage
+	// Footprints reports FRAM bytes per owner (Table 2).
+	Footprints map[string]int
+	// Wear reports FRAM bytes written per owner over the run (endurance).
+	Wear map[string]int64
+	// ArtemisStats / MayflyStats expose the runtime's decision counters.
+	ArtemisStats *artemis.Stats
+	MayflyStats  *mayfly.Stats
+}
+
+// Framework is an assembled deployment ready to run.
+type Framework struct {
+	cfg   Config
+	mcu   *device.MCU
+	dev   *device.Device
+	store *task.Store
+
+	art  *artemis.Runtime
+	may  *mayfly.Runtime
+	mons *monitor.Set
+	res  *transform.Result
+}
+
+// New assembles a deployment.
+func New(cfg Config) (*Framework, error) {
+	if cfg.Graph == nil && cfg.BuildApp == nil {
+		return nil, errors.New("core: Config.Graph or Config.BuildApp is required")
+	}
+	if cfg.Graph != nil && cfg.BuildApp != nil {
+		return nil, errors.New("core: Config.Graph and Config.BuildApp are mutually exclusive")
+	}
+	if len(cfg.StoreKeys) == 0 {
+		return nil, errors.New("core: Config.StoreKeys is required")
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 256 * 1024
+	}
+	if cfg.MaxReboots <= 0 {
+		cfg.MaxReboots = 1000
+	}
+	prof := device.MSP430FR5994()
+	if cfg.Profile != nil {
+		prof = *cfg.Profile
+	}
+	supply, err := buildSupply(cfg.Supply)
+	if err != nil {
+		return nil, err
+	}
+	mem := nvm.New(cfg.MemBytes)
+	var extras []task.Persistent
+	if cfg.BuildApp != nil {
+		g, ex, err := cfg.BuildApp(mem)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Graph, extras = g, ex
+	}
+	clock := &simclock.Clock{DriftPPM: cfg.ClockDriftPPM, OffJitterPPM: cfg.ClockOffJitterPPM}
+	if cfg.ClockOffJitterPPM != 0 {
+		clock.Rand = rand.New(rand.NewSource(cfg.ClockSeed))
+	}
+	mcu, err := device.NewMCU(clock, mem, supply, prof)
+	if err != nil {
+		return nil, err
+	}
+	store, err := task.NewStore(mem, "app", cfg.StoreKeys)
+	if err != nil {
+		return nil, err
+	}
+	f := &Framework{
+		cfg:   cfg,
+		mcu:   mcu,
+		dev:   &device.Device{MCU: mcu, MaxReboots: cfg.MaxReboots},
+		store: store,
+	}
+	switch cfg.System {
+	case Artemis:
+		s, err := spec.Parse(cfg.SpecSource)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res, err := transform.Compile(s, transform.Options{Graph: cfg.Graph, DataVars: cfg.StoreKeys})
+		if err != nil {
+			return nil, err
+		}
+		mons, err := monitor.NewSet(mem, res)
+		if err != nil {
+			return nil, err
+		}
+		var deployed monitor.Interface = mons
+		switch {
+		case cfg.RemoteMonitors && cfg.ContinuationMonitors:
+			return nil, errors.New("core: RemoteMonitors and ContinuationMonitors are mutually exclusive")
+		case cfg.RemoteMonitors:
+			cost := monitor.DefaultRadioCost()
+			if cfg.RadioCost != nil {
+				cost = *cfg.RadioCost
+			}
+			deployed = monitor.NewRemote(mons, mcu, cost)
+		case cfg.ContinuationMonitors:
+			ts, err := monitor.NewThreadedSet(mem, mons)
+			if err != nil {
+				return nil, err
+			}
+			deployed = ts
+		}
+		rt, err := artemis.New(artemis.Config{
+			MCU: mcu, Graph: cfg.Graph, Store: store, Monitors: deployed,
+			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps, OnDecision: cfg.OnDecision,
+			Extras: extras,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.art, f.mons, f.res = rt, mons, res
+	case Mayfly:
+		rt, err := mayfly.New(mayfly.Config{
+			MCU: mcu, Graph: cfg.Graph, Store: store, Constraints: cfg.Constraints,
+			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.may = rt
+	default:
+		return nil, fmt.Errorf("core: unknown system %v", cfg.System)
+	}
+	return f, nil
+}
+
+func buildSupply(sc SupplyConfig) (energy.Supply, error) {
+	switch sc.Kind {
+	case SupplyContinuous:
+		return &energy.Continuous{}, nil
+	case SupplyFixedDelay:
+		return energy.NewFixedDelaySupply(energy.Microjoules(sc.BudgetUJ), sc.Delay)
+	case SupplyHarvested:
+		cap, err := energy.NewCapacitor(sc.CapacitanceF, sc.VMax, sc.VOn, sc.VOff)
+		if err != nil {
+			return nil, err
+		}
+		return &energy.HarvestedSupply{Cap: cap, Harv: energy.ConstantHarvester(energy.Watts(sc.HarvestW))}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown supply kind %d", int(sc.Kind))
+	}
+}
+
+// Store returns the application's persistent store, for output inspection.
+func (f *Framework) Store() *task.Store { return f.store }
+
+// MCU returns the device model.
+func (f *Framework) MCU() *device.MCU { return f.mcu }
+
+// Monitors returns the ARTEMIS monitor set (nil for Mayfly).
+func (f *Framework) Monitors() *monitor.Set { return f.mons }
+
+// CompiledIR returns the generated monitor program (nil for Mayfly); tools
+// print it for inspection.
+func (f *Framework) CompiledIR() *ir.Program {
+	if f.res == nil {
+		return nil
+	}
+	return f.res.Program
+}
+
+// OnReboot registers a reboot observer on the underlying device.
+func (f *Framework) OnReboot(fn func(n int, off simclock.Duration)) {
+	f.dev.OnReboot = fn
+}
+
+// Run executes the application to completion (or to a detected
+// non-termination, which is reported in the Report rather than as an error
+// — it is a measured outcome of the experiments).
+func (f *Framework) Run() (*Report, error) {
+	var boot func() error
+	if f.art != nil {
+		boot = f.art.Boot
+	} else {
+		boot = f.may.Boot
+	}
+	res, err := f.dev.Run(boot)
+	rep := &Report{
+		System:    f.cfg.System,
+		RunResult: res,
+		Breakdown: map[device.Component]device.Usage{
+			device.CompApp:     f.mcu.UsageOf(device.CompApp),
+			device.CompRuntime: f.mcu.UsageOf(device.CompRuntime),
+			device.CompMonitor: f.mcu.UsageOf(device.CompMonitor),
+		},
+		Footprints: map[string]int{},
+		Wear:       map[string]int64{},
+	}
+	for _, owner := range f.mcu.Mem.Owners() {
+		rep.Footprints[owner] = f.mcu.Mem.FootprintBy(owner)
+		rep.Wear[owner] = f.mcu.Mem.WearOf(owner)
+	}
+	if f.art != nil {
+		st := f.art.Stats()
+		rep.ArtemisStats = &st
+	}
+	if f.may != nil {
+		st := f.may.Stats()
+		rep.MayflyStats = &st
+	}
+	if err != nil {
+		if errors.Is(err, device.ErrNonTermination) ||
+			errors.Is(err, artemis.ErrStuck) || errors.Is(err, mayfly.ErrStuck) {
+			rep.NonTerminated = true
+			return rep, nil
+		}
+		return rep, err
+	}
+	return rep, nil
+}

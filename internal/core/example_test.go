@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+// Example assembles and runs a two-task monitored application on a device
+// that browns out every 700 µJ and recharges for 20 seconds.
+func Example() {
+	sample := &task.Task{
+		Name: "sample", Cycles: 4000, Peripherals: []string{"adc"},
+		Run: func(c *task.Ctx) error { c.Add("samples", 1); return nil },
+	}
+	report := &task.Task{
+		Name: "report", Cycles: 2000, Peripherals: []string{"ble"},
+		Run: func(c *task.Ctx) error { c.Add("reports", 1); return nil },
+	}
+	graph, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{sample, report}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	f, err := core.New(core.Config{
+		System:     core.Artemis,
+		Graph:      graph,
+		StoreKeys:  []string{"samples", "reports"},
+		SpecSource: `sample { maxTries: 5 onFail: skipPath; }`,
+		Supply: core.SupplyConfig{
+			Kind: core.SupplyFixedDelay, BudgetUJ: 700, Delay: 20 * simclock.Second,
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := f.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("completed=%v samples=%.0f\n", rep.Completed, f.Store().Get("samples"))
+	// Output:
+	// completed=true samples=1
+}

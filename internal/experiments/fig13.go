@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/trace"
+)
+
+// Fig13Result is the Figure-13 scenario: the decision timeline of one
+// ARTEMIS run whose charging delay defeats the 5-minute MITD, showing the
+// bounded restart attempts and the final path skip that keeps the
+// application progressing.
+type Fig13Result struct {
+	Charging  simclock.Duration
+	Timeline  *trace.Timeline
+	Attempts  int // restartPath decisions attributed to the MITD machine
+	Skipped   bool
+	Completed bool
+	Outcome   Outcome
+}
+
+// Figure13 runs the non-termination-prevention scenario (a 6-minute
+// charging delay by default) and reconstructs the paper's timeline: three
+// attempts to complete path #2, then skipPath, then the send task still
+// executes via path #3.
+func Figure13(o Options) (*Fig13Result, error) {
+	o = o.withDefaults()
+	charging := 6 * simclock.Minute
+	res := &Fig13Result{
+		Charging: charging,
+		Timeline: trace.NewTimeline(fmt.Sprintf(
+			"Figure 13 — ARTEMIS under a %v charging delay (MITD 5m, maxAttempt 3)", charging)),
+	}
+	hook := func(cfg *core.Config) {
+		cfg.OnDecision = func(ev monitor.Event, d monitor.Decision) {
+			switch d.Action {
+			case action.RestartPath:
+				if d.Machine == "MITD_send_accel" {
+					res.Attempts++
+					res.Timeline.Add(ev.Time,
+						"attempt #%d: MITD violated at %s start → restartPath %d",
+						res.Attempts, ev.Task, d.Path)
+				}
+			case action.SkipPath:
+				if d.Machine == "MITD_send_accel" {
+					res.Attempts++
+					res.Skipped = true
+					res.Timeline.Add(ev.Time,
+						"attempt #%d: MITD violated again → maxAttempt exhausted → skipPath %d",
+						res.Attempts, d.Path)
+				}
+			}
+		}
+	}
+	rep, out, err := runHealth(core.Artemis, fixedDelay(o.BudgetUJ, charging), o, hook)
+	if err != nil {
+		return nil, fmt.Errorf("figure 13: %w", err)
+	}
+	res.Outcome = out
+	res.Completed = rep.Completed
+	if rep.Completed {
+		res.Timeline.Add(simclock.Time(out.Elapsed),
+			"application completed: path #3 executed send with the remaining data")
+	}
+	return res, nil
+}
+
+// RenderFigure13 prints the timeline with a summary line.
+func RenderFigure13(r *Fig13Result) string {
+	s := r.Timeline.Render()
+	s += fmt.Sprintf("  summary: attempts=%d skipped=%v completed=%v total=%s reboots=%d\n",
+		r.Attempts, r.Skipped, r.Completed, trace.FormatDuration(r.Outcome.Elapsed), r.Outcome.Reboots)
+	return s
+}

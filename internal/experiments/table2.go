@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"github.com/tinysystems/artemis-go/internal/codegen"
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/trace"
+)
+
+// Table2Row reports one component's memory requirements, the Table-2
+// columns translated to this reproduction's measurable quantities:
+//
+//   - Text is the code-size proxy: bytes of the component's Go source (for
+//     the generated monitors, the bytes artemisgen emits for the benchmark).
+//   - RAM is the volatile working set: the SRAM staging buffers of the
+//     component's committed regions.
+//   - FRAM is the measured persistent allocation from the NVM accountant.
+type Table2Row struct {
+	Component string
+	Text      int
+	RAM       int
+	FRAM      int
+}
+
+// Table2 measures the memory requirements of the Mayfly runtime, the
+// ARTEMIS runtime, and the generated ARTEMIS monitors for the benchmark
+// application. The paper's structural claims: the decoupled ARTEMIS runtime
+// needs less FRAM than Mayfly's (the property bookkeeping moved out), and
+// the application-specific monitors carry the bulk of the persistent state.
+func Table2(o Options) ([]Table2Row, error) {
+	o = o.withDefaults()
+
+	artRep, _, err := runHealth(core.Artemis, continuous(), o, nil)
+	if err != nil {
+		return nil, fmt.Errorf("table 2 (ARTEMIS): %w", err)
+	}
+	mayRep, _, err := runHealth(core.Mayfly, continuous(), o, nil)
+	if err != nil {
+		return nil, fmt.Errorf("table 2 (Mayfly): %w", err)
+	}
+
+	res, err := health.New().Compile()
+	if err != nil {
+		return nil, err
+	}
+	monSrc, err := codegen.Generate(res.Program, "monitors")
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []Table2Row{
+		{
+			Component: "Mayfly runtime",
+			Text:      sourceBytes("mayfly/mayfly.go"),
+			RAM:       stagingBytes(mayRep, "mayfly"),
+			FRAM:      mayRep.Footprints["mayfly"],
+		},
+		{
+			Component: "ARTEMIS runtime",
+			Text:      sourceBytes("artemis/runtime.go"),
+			RAM:       stagingBytes(artRep, "runtime"),
+			FRAM:      artRep.Footprints["runtime"],
+		},
+		{
+			Component: "ARTEMIS monitor (generated)",
+			Text:      len(monSrc),
+			RAM:       stagingBytes(artRep, "monitor"),
+			FRAM:      artRep.Footprints["monitor"],
+		},
+	}
+	return rows, nil
+}
+
+// stagingBytes estimates a component's volatile working set: each committed
+// region keeps one payload-sized staging buffer in SRAM, which the NVM
+// accountant exposes as the ".a" buffer of the double-buffered pair.
+func stagingBytes(rep *core.Report, owner string) int {
+	// Footprints do not carry allocation names, so recompute from the
+	// convention: a committed region of payload n allocates n (.a) + n (.b)
+	// + 1 (.sel) bytes; plain Vars allocate 8 bytes with no staging. The
+	// report exposes only totals, so the harness re-derives staging from
+	// the structural constants of each component:
+	switch owner {
+	case "monitor":
+		// One committed region per machine; payload = (11 + vars) words.
+		// Derivable exactly: total = 2·stage + 1 per machine.
+		return (rep.Footprints[owner] - machineCount(rep)) / 2
+	case "runtime":
+		// One committed control region (13 words = 104 B staged) + initDone.
+		return 104
+	case "mayfly":
+		// One committed control region (4 words = 32 B staged); endTime and
+		// collected slots are plain Vars with no staging.
+		return 32
+	default:
+		return 0
+	}
+}
+
+func machineCount(rep *core.Report) int {
+	if rep.System == core.Artemis {
+		return 8 // the benchmark's eight properties
+	}
+	return 0
+}
+
+// sourceBytes reads the size of a component's Go source file as the .text
+// proxy. The path is relative to the internal/ directory of this
+// repository; the experiments run in-repo, so the file is reachable from
+// this source file's location.
+func sourceBytes(rel string) int {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return 0
+	}
+	p := filepath.Join(filepath.Dir(self), "..", rel)
+	info, err := os.Stat(p)
+	if err != nil {
+		return 0
+	}
+	return int(info.Size())
+}
+
+// TableTable2 builds the memory-requirements table.
+func TableTable2(rows []Table2Row) *trace.Table {
+	t := trace.NewTable(
+		"Table 2 — memory requirements (bytes; .text is a source-size proxy)",
+		"component", ".text", "RAM", "FRAM")
+	for _, r := range rows {
+		t.AddRow(r.Component,
+			fmt.Sprintf("%d", r.Text),
+			fmt.Sprintf("%d", r.RAM),
+			fmt.Sprintf("%d", r.FRAM))
+	}
+	return t
+}
+
+// RenderTable2 prints the memory-requirements table.
+func RenderTable2(rows []Table2Row) string { return TableTable2(rows).Render() }

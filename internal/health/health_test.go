@@ -1,0 +1,100 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/spec"
+)
+
+func TestGraphShape(t *testing.T) {
+	app := New()
+	g := app.Graph
+	if len(g.Paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(g.Paths))
+	}
+	wantPaths := map[int][]string{
+		1: {"bodyTemp", "calcAvg", "heartRate", "send"},
+		2: {"accel", "filter", "classify", "send"},
+		3: {"micSense", "send"},
+	}
+	for id, names := range wantPaths {
+		p := g.PathByID(id)
+		if p == nil {
+			t.Fatalf("path %d missing", id)
+		}
+		if len(p.Tasks) != len(names) {
+			t.Fatalf("path %d: %d tasks, want %d", id, len(p.Tasks), len(names))
+		}
+		for i, name := range names {
+			if p.Tasks[i].Name != name {
+				t.Errorf("path %d task %d = %q, want %q", id, i, p.Tasks[i].Name, name)
+			}
+		}
+	}
+	// send merges all three paths on one task value.
+	if got := g.PathsContaining("send"); len(got) != 3 {
+		t.Fatalf("send paths = %v", got)
+	}
+	// calcAvg declares the avgTemp dependency used by the dpData property.
+	if g.Task("calcAvg").DepData != "avgTemp" {
+		t.Fatalf("calcAvg DepData = %q", g.Task("calcAvg").DepData)
+	}
+	// accel and send are the energy-hungry tasks (§5.1's premise).
+	if len(g.Task("accel").Peripherals) == 0 || len(g.Task("send").Peripherals) == 0 {
+		t.Fatal("accel/send lack peripheral costs")
+	}
+}
+
+func TestSpecSourceIsFigure5(t *testing.T) {
+	s := spec.MustParse(SpecSource)
+	if len(s.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(s.Blocks))
+	}
+	if got := len(s.Properties()); got != 8 {
+		t.Fatalf("properties = %d, want 8", got)
+	}
+	mitd := s.Block("send").Props[0]
+	if mitd.Kind != spec.KindMITD || mitd.MaxAttempt != 3 || mitd.Path != 2 {
+		t.Fatalf("MITD property wrong: %+v", mitd)
+	}
+}
+
+func TestCompile(t *testing.T) {
+	res, err := New().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Machines) != 8 {
+		t.Fatalf("machines = %d, want 8", len(res.Program.Machines))
+	}
+}
+
+func TestKeysCopied(t *testing.T) {
+	a := Keys()
+	a[0] = "mutated"
+	if Keys()[0] == "mutated" {
+		t.Fatal("Keys returns shared slice")
+	}
+	for _, want := range []string{"avgTemp", "sentCount", "tempCount"} {
+		found := false
+		for _, k := range Keys() {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("key %q missing", want)
+		}
+	}
+}
+
+func TestAppsAreIndependent(t *testing.T) {
+	a, b := New(), New()
+	if a.Graph.Task("send") == b.Graph.Task("send") {
+		t.Fatal("two apps share task values")
+	}
+	if !strings.Contains(SpecSource, "maxAttempt: 3") {
+		t.Fatal("spec lost the maxAttempt bound")
+	}
+}

@@ -1,0 +1,84 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the program as a Graphviz digraph, one cluster per machine —
+// the visual form in which the paper presents its Figure-7 machines.
+// Render with: artemisgen -app health -emit dot | dot -Tsvg > monitors.svg
+func DOT(p *Program) string {
+	var b strings.Builder
+	b.WriteString("digraph monitors {\n")
+	b.WriteString("    rankdir=LR;\n")
+	b.WriteString("    node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	b.WriteString("    edge [fontname=\"Helvetica\", fontsize=10];\n")
+	for mi, m := range p.Machines {
+		fmt.Fprintf(&b, "    subgraph cluster_%d {\n", mi)
+		fmt.Fprintf(&b, "        label=%q;\n", m.Name)
+		// An invisible entry point marks the initial state.
+		fmt.Fprintf(&b, "        entry_%d [shape=point, style=invis];\n", mi)
+		for si, st := range m.States {
+			fmt.Fprintf(&b, "        s_%d_%d [label=%q];\n", mi, si, st.Name)
+		}
+		if ii := m.StateIndex(m.Initial); ii >= 0 {
+			fmt.Fprintf(&b, "        entry_%d -> s_%d_%d;\n", mi, mi, ii)
+		}
+		for si, st := range m.States {
+			for _, tr := range st.Transitions {
+				ti := m.StateIndex(tr.Target)
+				fmt.Fprintf(&b, "        s_%d_%d -> s_%d_%d [label=%q%s];\n",
+					mi, si, mi, ti, transitionLabel(tr), failStyle(tr))
+			}
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// transitionLabel compresses a transition to "trigger [guard] / body".
+func transitionLabel(tr Transition) string {
+	var parts []string
+	parts = append(parts, tr.Trigger.String())
+	if tr.Guard != nil {
+		parts = append(parts, "["+tr.Guard.String()+"]")
+	}
+	if len(tr.Body) > 0 {
+		var stmts []string
+		for _, s := range tr.Body {
+			var sb strings.Builder
+			s.writeTo(&sb, "")
+			stmts = append(stmts, sb.String())
+		}
+		parts = append(parts, "/ "+strings.Join(stmts, " "))
+	}
+	label := strings.Join(parts, " ")
+	if len(label) > 90 {
+		label = label[:87] + "..."
+	}
+	return label
+}
+
+// failStyle colours failure-signalling transitions red.
+func failStyle(tr Transition) string {
+	if containsFail(tr.Body) {
+		return ", color=red"
+	}
+	return ""
+}
+
+func containsFail(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Fail:
+			return true
+		case If:
+			if containsFail(s.Then) || containsFail(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}

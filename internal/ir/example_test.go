@@ -1,0 +1,43 @@
+package ir_test
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// ExampleStep drives a hand-written machine through two events.
+func ExampleStep() {
+	prog := ir.MustParse(`
+machine MaxTries {
+    var i: int = 0
+    initial state NotStarted {
+        on start [task == "accel"] -> Started { i = 1; }
+    }
+    state Started {
+        on start [task == "accel" && i >= 2] -> NotStarted { i = 0; fail skipPath; }
+        on start [task == "accel"] -> Started { i = i + 1; }
+        on end [task == "accel"] -> NotStarted { i = 0; }
+    }
+}`)
+	m := prog.Machines[0]
+	env := ir.NewVolatileEnv(m)
+	events := []ir.Event{
+		{Kind: ir.EvStart, Task: "accel", Time: simclock.Time(1 * simclock.Second)},
+		{Kind: ir.EvStart, Task: "accel", Time: simclock.Time(2 * simclock.Second)},
+		{Kind: ir.EvStart, Task: "accel", Time: simclock.Time(3 * simclock.Second)},
+	}
+	for _, ev := range events {
+		failures, err := ir.Step(m, env, ev)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%v(%s) -> %v\n", ev.Kind, ev.Task, failures)
+	}
+	// Output:
+	// start(accel) -> []
+	// start(accel) -> []
+	// start(accel) -> [MaxTries: skipPath]
+}

@@ -1,0 +1,279 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Expr is an expression node.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// Ident references a machine variable or an event field (task, t, data,
+// path).
+type Ident struct{ Name string }
+
+// Unary applies ! or - to an operand.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (Lit) isExpr()    {}
+func (Ident) isExpr()  {}
+func (Unary) isExpr()  {}
+func (Binary) isExpr() {}
+
+func (e Lit) String() string   { return e.V.String() }
+func (e Ident) String() string { return e.Name }
+func (e Unary) String() string { return e.Op + subExpr(e.X) }
+func (e Binary) String() string {
+	return subExpr(e.L) + " " + e.Op + " " + subExpr(e.R)
+}
+
+// subExpr parenthesises compound operands so printed expressions reparse
+// with the same structure.
+func subExpr(e Expr) string {
+	if b, ok := e.(Binary); ok {
+		return "(" + b.String() + ")"
+	}
+	return e.String()
+}
+
+// Scope resolves identifiers during evaluation.
+type Scope interface {
+	// Lookup returns the value bound to name; ok is false when unbound.
+	Lookup(name string) (Value, bool)
+}
+
+// MapScope is a Scope over a plain map.
+type MapScope map[string]Value
+
+// Lookup implements Scope.
+func (m MapScope) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Eval evaluates an expression in a scope.
+func Eval(e Expr, sc Scope) (Value, error) {
+	switch e := e.(type) {
+	case Lit:
+		return e.V, nil
+	case Ident:
+		v, ok := sc.Lookup(e.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("ir: undefined identifier %q", e.Name)
+		}
+		return v, nil
+	case Unary:
+		return evalUnary(e, sc)
+	case Binary:
+		return evalBinary(e, sc)
+	default:
+		return Value{}, fmt.Errorf("ir: unknown expression %T", e)
+	}
+}
+
+func evalUnary(e Unary, sc Scope) (Value, error) {
+	x, err := Eval(e.X, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case "!":
+		b, err := x.Truthy()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!b), nil
+	case "-":
+		switch x.T {
+		case TInt:
+			return Int(-x.I), nil
+		case TFloat:
+			return Float(-x.F), nil
+		}
+		return Value{}, fmt.Errorf("ir: cannot negate %v", x.T)
+	}
+	return Value{}, fmt.Errorf("ir: unknown unary operator %q", e.Op)
+}
+
+func evalBinary(e Binary, sc Scope) (Value, error) {
+	// Short-circuit logic first.
+	if e.Op == "&&" || e.Op == "||" {
+		l, err := Eval(e.L, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, err := l.Truthy()
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == "&&" && !lb {
+			return Bool(false), nil
+		}
+		if e.Op == "||" && lb {
+			return Bool(true), nil
+		}
+		r, err := Eval(e.R, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := r.Truthy()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(rb), nil
+	}
+
+	l, err := Eval(e.L, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := Eval(e.R, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case "==":
+		eq, err := l.Equal(r)
+		return Bool(eq), err
+	case "!=":
+		eq, err := l.Equal(r)
+		return Bool(!eq), err
+	case "<", "<=", ">", ">=":
+		return compare(e.Op, l, r)
+	case "+", "-", "*", "/", "%":
+		return arith(e.Op, l, r)
+	}
+	return Value{}, fmt.Errorf("ir: unknown operator %q", e.Op)
+}
+
+func compare(op string, l, r Value) (Value, error) {
+	if !isNumeric(l.T) || !isNumeric(r.T) {
+		return Value{}, fmt.Errorf("ir: cannot order %v and %v", l.T, r.T)
+	}
+	a, _ := l.AsFloat()
+	b, _ := r.AsFloat()
+	switch op {
+	case "<":
+		return Bool(a < b), nil
+	case "<=":
+		return Bool(a <= b), nil
+	case ">":
+		return Bool(a > b), nil
+	case ">=":
+		return Bool(a >= b), nil
+	}
+	return Value{}, fmt.Errorf("ir: unknown comparison %q", op)
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if !isNumeric(l.T) || !isNumeric(r.T) {
+		return Value{}, fmt.Errorf("ir: cannot apply %q to %v and %v", op, l.T, r.T)
+	}
+	if l.T == TInt && r.T == TInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("ir: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("ir: modulo by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	if op == "%" {
+		return Value{}, fmt.Errorf("ir: %% needs integer operands")
+	}
+	a, _ := l.AsFloat()
+	b, _ := r.AsFloat()
+	switch op {
+	case "+":
+		return Float(a + b), nil
+	case "-":
+		return Float(a - b), nil
+	case "*":
+		return Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return Value{}, fmt.Errorf("ir: division by zero")
+		}
+		return Float(a / b), nil
+	}
+	return Value{}, fmt.Errorf("ir: unknown arithmetic %q", op)
+}
+
+// FreeIdents collects the identifiers referenced by an expression, sorted
+// and de-duplicated; the checker uses it to verify declarations.
+func FreeIdents(e Expr) []string {
+	set := map[string]bool{}
+	collectIdents(e, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func collectIdents(e Expr, set map[string]bool) {
+	switch e := e.(type) {
+	case Ident:
+		set[e.Name] = true
+	case Unary:
+		collectIdents(e.X, set)
+	case Binary:
+		collectIdents(e.L, set)
+		collectIdents(e.R, set)
+	}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// eventFields are the identifiers bound implicitly on every event: the task
+// name, the event timestamp in microseconds, the dependent data value, and
+// the current path ID.
+var eventFields = map[string]Type{
+	"task":   TString,
+	"t":      TInt,
+	"data":   TFloat,
+	"path":   TInt,
+	"energy": TFloat,
+}
+
+// IsEventField reports whether name is an implicitly bound event field.
+func IsEventField(name string) bool {
+	_, ok := eventFields[name]
+	return ok
+}

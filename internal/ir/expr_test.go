@@ -1,0 +1,245 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalStr parses and evaluates a standalone expression by wrapping it in a
+// guard position of a throwaway machine.
+func evalStr(t *testing.T, src string, scope Scope) (Value, error) {
+	t.Helper()
+	p := &irParser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	e, err := p.expr()
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if p.tok.kind != tEOF {
+		t.Fatalf("parse %q: trailing %v", src, p.tok)
+	}
+	return Eval(e, scope)
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	sc := MapScope{"x": Int(7), "f": Float(1.5)}
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", Int(7)},
+		{"(1 + 2) * 3", Int(9)},
+		{"10 / 3", Int(3)},
+		{"10 % 3", Int(1)},
+		{"x - 10", Int(-3)},
+		{"-x", Int(-7)},
+		{"f * 2", Float(3)},
+		{"x + f", Float(8.5)},
+		{"1 / 2.0", Float(0.5)},
+	}
+	for _, tc := range cases {
+		got, err := evalStr(t, tc.src, sc)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	sc := MapScope{"task": Str("accel"), "i": Int(3), "t": Int(100)}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`task == "accel"`, true},
+		{`task != "accel"`, false},
+		{`task == "send"`, false},
+		{"i < 10", true},
+		{"i >= 3", true},
+		{"i > 3", false},
+		{"i <= 2", false},
+		{"i < 10 && t > 50", true},
+		{"i > 10 || t > 50", true},
+		{"i > 10 && t > 50", false},
+		{"!(i > 10)", true},
+		{"1 == 1.0", true},
+		{"true && false", false},
+		{"true || false", true},
+	}
+	for _, tc := range cases {
+		got, err := evalStr(t, tc.src, sc)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got.T != TBool || got.B != tc.want {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right operand references an undefined name; short-circuit must
+	// avoid evaluating it.
+	sc := MapScope{}
+	if got, err := evalStr(t, "false && boom", sc); err != nil || got.B {
+		t.Errorf("false && boom = %v, %v", got, err)
+	}
+	if got, err := evalStr(t, "true || boom", sc); err != nil || !got.B {
+		t.Errorf("true || boom = %v, %v", got, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	sc := MapScope{"s": Str("x"), "b": Bool(true)}
+	cases := []string{
+		"nosuch",
+		"1 / 0",
+		"1 % 0",
+		"1.5 % 2.0",
+		"s + 1",
+		"s < s",
+		"b + 1",
+		"-s",
+		"!5",
+		"5 && true",
+		"s == 5",
+	}
+	for _, src := range cases {
+		if _, err := evalStr(t, src, sc); err == nil {
+			t.Errorf("%q: evaluated without error", src)
+		}
+	}
+}
+
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	sc := MapScope{"i": Int(4), "task": Str("a")}
+	exprs := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		`task == "a" && i < 10`,
+		"!(i > 3) || i == 4",
+		"-i + 2",
+		"i % 2 == 0",
+	}
+	for _, src := range exprs {
+		v1, err := evalStr(t, src, sc)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		p := &irParser{lex: newLexer(src)}
+		if err := p.next(); err != nil {
+			t.Fatal(err)
+		}
+		e, err := p.expr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := evalStr(t, e.String(), sc)
+		if err != nil {
+			t.Fatalf("reparse %q (printed %q): %v", src, e.String(), err)
+		}
+		if v1 != v2 {
+			t.Errorf("%q: %v != reparsed %v (printed %q)", src, v1, v2, e.String())
+		}
+	}
+}
+
+func TestFreeIdents(t *testing.T) {
+	p := &irParser{lex: newLexer("a + b * (c - a) < d && !e")}
+	if err := p.next(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.expr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FreeIdents(e)
+	want := []string{"a", "b", "c", "d", "e"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("FreeIdents = %v, want %v", got, want)
+	}
+}
+
+func TestValueEncodeDecode(t *testing.T) {
+	cases := []Value{Int(-5), Int(1 << 40), Float(36.6), Float(-0.25), Bool(true), Bool(false)}
+	for _, v := range cases {
+		bits, err := v.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", v, err)
+		}
+		got, err := Decode(v.T, bits)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := Str("x").Encode(); err == nil {
+		t.Fatal("string encoded")
+	}
+	if _, err := Decode(TString, 0); err == nil {
+		t.Fatal("string decoded")
+	}
+}
+
+// Property: integer arithmetic in the IR matches Go semantics.
+func TestIntArithmeticProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		sc := MapScope{"a": Int(int64(a)), "b": Int(int64(b))}
+		sum, err := evalStrQuick("a + b", sc)
+		if err != nil || sum.I != int64(a)+int64(b) {
+			return false
+		}
+		prod, err := evalStrQuick("a * b", sc)
+		if err != nil || prod.I != int64(a)*int64(b) {
+			return false
+		}
+		if b != 0 {
+			q, err := evalStrQuick("a / b", sc)
+			if err != nil || q.I != int64(a)/int64(b) {
+				return false
+			}
+		}
+		lt, err := evalStrQuick("a < b", sc)
+		return err == nil && lt.B == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evalStrQuick(src string, scope Scope) (Value, error) {
+	p := &irParser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return Value{}, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return Value{}, err
+	}
+	return Eval(e, scope)
+}
+
+func TestParseTypeAndString(t *testing.T) {
+	for _, name := range []string{"int", "float", "bool", "string"} {
+		typ, err := ParseType(name)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", name, err)
+		}
+		if typ.String() != name {
+			t.Fatalf("round trip %q -> %v", name, typ)
+		}
+	}
+	if _, err := ParseType("quaternion"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}

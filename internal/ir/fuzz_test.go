@@ -1,0 +1,51 @@
+package ir
+
+import "testing"
+
+// FuzzParse asserts the IR parser never panics, and that every accepted
+// program passes its own static checks (Parse runs Check) and round-trips
+// through the printer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		maxTriesSrc,
+		maxDurationSrc,
+		collectSrc,
+		mitdSrc,
+		"",
+		"machine M { initial state S { on any -> S; } }",
+		`machine M {
+    var f: float = 1.5
+    var b: bool = true
+    initial state A { on start [task == "x" && (f < 2.0 || !b)] -> B { f = f * 2.0; } }
+    state B { on end -> A { if b { fail completePath; } else { fail skipTask path 3; } } }
+}`,
+		"machine M { var x: int = -5 initial state S { on any [x % 2 == 0] -> S; } }",
+		"machine M { initial state S { on any [energy < 300.0] -> S { fail skipTask; } } }",
+		"machine 123 {}",
+		"machine M { state S {} }", // no initial
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer output does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("round trip unstable:\n%q\nvs\n%q", printed, p2.String())
+		}
+		// Stepping any accepted machine with a generic event must not
+		// panic; errors are fine (dynamic type errors are legal).
+		for _, m := range p.Machines {
+			env := NewVolatileEnv(m)
+			_, _ = Step(m, env, Event{Kind: EvStart, Task: "x", Time: 1, Path: 1, Data: 1, Energy: 1})
+			_, _ = Step(m, env, Event{Kind: EvEnd, Task: "x", Time: 2, Path: 1, Data: 2, Energy: 2})
+		}
+	})
+}

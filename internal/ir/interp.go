@@ -1,0 +1,193 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+)
+
+// Failure is a property violation signalled by a machine, carrying the
+// corrective action recommended to the runtime. Path is the explicit path
+// the action applies to, or 0 for the current path.
+type Failure struct {
+	Machine string
+	Action  action.Action
+	Path    int
+}
+
+func (f Failure) String() string {
+	if f.Path != 0 {
+		return fmt.Sprintf("%s: %v path %d", f.Machine, f.Action, f.Path)
+	}
+	return fmt.Sprintf("%s: %v", f.Machine, f.Action)
+}
+
+// Env stores one machine instance's mutable state: its variables and its
+// current state index. The monitor package implements Env over non-volatile
+// memory; VolatileEnv is the in-memory implementation used by tests and by
+// the transform's simulation checks.
+type Env interface {
+	GetVar(name string) (Value, bool)
+	SetVar(name string, v Value) error
+	State() int
+	SetState(i int)
+}
+
+// VolatileEnv is an in-memory Env.
+type VolatileEnv struct {
+	vars  map[string]Value
+	state int
+}
+
+// NewVolatileEnv returns an Env initialised to the machine's initial state
+// and variable initial values.
+func NewVolatileEnv(m *Machine) *VolatileEnv {
+	e := &VolatileEnv{vars: make(map[string]Value, len(m.Vars))}
+	ResetEnv(m, e)
+	return e
+}
+
+// GetVar implements Env.
+func (e *VolatileEnv) GetVar(name string) (Value, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// SetVar implements Env.
+func (e *VolatileEnv) SetVar(name string, v Value) error {
+	e.vars[name] = v
+	return nil
+}
+
+// State implements Env.
+func (e *VolatileEnv) State() int { return e.state }
+
+// SetState implements Env.
+func (e *VolatileEnv) SetState(i int) { e.state = i }
+
+// ResetEnv returns an environment to the machine's initial configuration —
+// what re-initialising a monitor after a path restart means (§3.3).
+func ResetEnv(m *Machine, env Env) {
+	for _, v := range m.Vars {
+		// Initial values are statically checked; ignore the error.
+		_ = env.SetVar(v.Name, v.Init)
+	}
+	env.SetState(m.StateIndex(m.Initial))
+}
+
+// stepScope overlays event bindings over machine variables.
+type stepScope struct {
+	event MapScope
+	env   Env
+}
+
+func (s stepScope) Lookup(name string) (Value, bool) {
+	if v, ok := s.event[name]; ok {
+		return v, ok
+	}
+	return s.env.GetVar(name)
+}
+
+// Step delivers one event to a machine instance: the first transition of
+// the current state whose trigger matches and whose guard holds fires; its
+// body runs (updating variables and collecting failures) and the machine
+// moves to the target state. With no matching transition the event is
+// accepted silently (implicit self-transition). Failures are returned in
+// signalling order.
+func Step(m *Machine, env Env, ev Event) ([]Failure, error) {
+	si := env.State()
+	if si < 0 || si >= len(m.States) {
+		return nil, fmt.Errorf("ir: machine %s in invalid state %d", m.Name, si)
+	}
+	st := &m.States[si]
+	scope := stepScope{event: ev.Scope(), env: env}
+	for i := range st.Transitions {
+		tr := &st.Transitions[i]
+		if !tr.Trigger.Matches(ev.Kind) {
+			continue
+		}
+		if tr.Guard != nil {
+			v, err := Eval(tr.Guard, scope)
+			if err != nil {
+				return nil, fmt.Errorf("ir: machine %s state %s: guard: %w", m.Name, st.Name, err)
+			}
+			ok, err := v.Truthy()
+			if err != nil {
+				return nil, fmt.Errorf("ir: machine %s state %s: guard: %w", m.Name, st.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		var failures []Failure
+		if err := execStmts(m, tr.Body, scope, env, &failures); err != nil {
+			return nil, fmt.Errorf("ir: machine %s state %s: %w", m.Name, st.Name, err)
+		}
+		ti := m.StateIndex(tr.Target)
+		if ti < 0 {
+			return nil, fmt.Errorf("ir: machine %s: transition to unknown state %q", m.Name, tr.Target)
+		}
+		env.SetState(ti)
+		return failures, nil
+	}
+	return nil, nil
+}
+
+func execStmts(m *Machine, stmts []Stmt, scope stepScope, env Env, failures *[]Failure) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			v, err := Eval(s.X, scope)
+			if err != nil {
+				return err
+			}
+			decl := m.Var(s.Name)
+			if decl == nil {
+				return fmt.Errorf("assignment to undeclared %q", s.Name)
+			}
+			v, err = coerce(v, decl.Type)
+			if err != nil {
+				return fmt.Errorf("assigning %q: %w", s.Name, err)
+			}
+			if err := env.SetVar(s.Name, v); err != nil {
+				return err
+			}
+		case If:
+			c, err := Eval(s.Cond, scope)
+			if err != nil {
+				return err
+			}
+			ok, err := c.Truthy()
+			if err != nil {
+				return err
+			}
+			branch := s.Then
+			if !ok {
+				branch = s.Else
+			}
+			if err := execStmts(m, branch, scope, env, failures); err != nil {
+				return err
+			}
+		case Fail:
+			*failures = append(*failures, Failure{Machine: m.Name, Action: s.Action, Path: s.Path})
+		default:
+			return fmt.Errorf("unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// coerce converts a value to the declared variable type, allowing the
+// int↔float widenings the expression language produces.
+func coerce(v Value, t Type) (Value, error) {
+	if v.T == t {
+		return v, nil
+	}
+	switch {
+	case t == TFloat && v.T == TInt:
+		return Float(float64(v.I)), nil
+	case t == TInt && v.T == TFloat && v.F == float64(int64(v.F)):
+		return Int(int64(v.F)), nil
+	}
+	return Value{}, fmt.Errorf("cannot store %v into %v variable", v.T, t)
+}

@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies IR tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+	tOp    // operators and punctuation, Text holds the lexeme
+	tArrow // ->
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t tok) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func (t tok) pos() string { return fmt.Sprintf("%d:%d", t.line, t.col) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekAt(k int) byte {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func (l *lexer) peek() byte { return l.peekAt(0) }
+
+func (l *lexer) bump() byte {
+	ch := l.src[l.pos]
+	l.pos++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func (l *lexer) skip() error {
+	for l.pos < len(l.src) {
+		switch {
+		case l.peek() == ' ' || l.peek() == '\t' || l.peek() == '\n' || l.peek() == '\r':
+			l.bump()
+		case l.peek() == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.bump()
+			}
+		case l.peek() == '/' && l.peekAt(1) == '*':
+			line, col := l.line, l.col
+			l.bump()
+			l.bump()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("%d:%d: unterminated block comment", line, col)
+				}
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.bump()
+					l.bump()
+					break
+				}
+				l.bump()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (tok, error) {
+	if err := l.skip(); err != nil {
+		return tok{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) tok { return tok{kind: k, text: text, line: line, col: col} }
+	if l.pos >= len(l.src) {
+		return mk(tEOF, ""), nil
+	}
+	ch := l.peek()
+	switch {
+	case isIdentStart(ch):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.bump()
+		}
+		return mk(tIdent, l.src[start:l.pos]), nil
+	case ch >= '0' && ch <= '9':
+		start := l.pos
+		kind := tInt
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.bump()
+		}
+		if l.peek() == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+			kind = tFloat
+			l.bump()
+			for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+				l.bump()
+			}
+		}
+		return mk(kind, l.src[start:l.pos]), nil
+	case ch == '"':
+		l.bump()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) || l.peek() == '\n' {
+				return tok{}, fmt.Errorf("%d:%d: unterminated string", line, col)
+			}
+			c := l.bump()
+			if c == '"' {
+				return mk(tString, b.String()), nil
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.bump()
+				switch c {
+				case 'n':
+					c = '\n'
+				case 't':
+					c = '\t'
+				}
+			}
+			b.WriteByte(c)
+		}
+	}
+	// Two-character operators.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "->":
+		l.bump()
+		l.bump()
+		return mk(tArrow, "->"), nil
+	case "==", "!=", "<=", ">=", "&&", "||":
+		l.bump()
+		l.bump()
+		return mk(tOp, two), nil
+	}
+	switch ch {
+	case '{', '}', '(', ')', '[', ']', ';', ',', '=', '<', '>', '+', '-', '*', '/', '%', '!', ':':
+		l.bump()
+		return mk(tOp, string(ch)), nil
+	}
+	return tok{}, fmt.Errorf("%d:%d: unexpected character %q", line, col, string(ch))
+}
+
+func isIdentStart(ch byte) bool {
+	return ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_'
+}
+
+func isIdentPart(ch byte) bool {
+	return isIdentStart(ch) || ch >= '0' && ch <= '9'
+}

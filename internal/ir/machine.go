@@ -1,0 +1,324 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// EventKind distinguishes the observable runtime events (§3.4): the start
+// and end of task executions.
+type EventKind int
+
+// Event kinds.
+const (
+	EvStart EventKind = iota
+	EvEnd
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one observable runtime event delivered to monitors: task start
+// or end, with the persistent timestamp, the current path, and — on end
+// events — the task's dependent data value (dpData).
+type Event struct {
+	Kind EventKind
+	Task string
+	Time simclock.Time
+	Path int
+	Data float64
+	// Energy is the supply's remaining usable energy in microjoules at the
+	// instant of the event (+Inf without metering hardware) — the §4.2.2
+	// energy-awareness primitive.
+	Energy float64
+}
+
+// Scope exposes the event's implicit bindings to guard and body evaluation.
+func (e Event) Scope() MapScope {
+	return MapScope{
+		"task":   Str(e.Task),
+		"t":      Int(int64(e.Time)),
+		"data":   Float(e.Data),
+		"path":   Int(int64(e.Path)),
+		"energy": Float(e.Energy),
+	}
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v(%s) at %v path %d", e.Kind, e.Task, e.Time, e.Path)
+}
+
+// Trigger selects which events may fire a transition.
+type Trigger int
+
+// Triggers. TrigAny matches both start and end events ("anyEvent" in the
+// paper's Figure 7).
+const (
+	TrigStart Trigger = iota
+	TrigEnd
+	TrigAny
+)
+
+func (t Trigger) String() string {
+	switch t {
+	case TrigStart:
+		return "start"
+	case TrigEnd:
+		return "end"
+	case TrigAny:
+		return "any"
+	default:
+		return fmt.Sprintf("trigger(%d)", int(t))
+	}
+}
+
+// Matches reports whether the trigger accepts an event kind.
+func (t Trigger) Matches(k EventKind) bool {
+	switch t {
+	case TrigAny:
+		return true
+	case TrigStart:
+		return k == EvStart
+	case TrigEnd:
+		return k == EvEnd
+	}
+	return false
+}
+
+// Stmt is a transition-body statement.
+type Stmt interface {
+	isStmt()
+	writeTo(b *strings.Builder, indent string)
+}
+
+// Assign sets a machine variable.
+type Assign struct {
+	Name string
+	X    Expr
+}
+
+// If is a conditional statement with optional else branch.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Fail signals a property failure with the corrective action the runtime
+// should take; Path scopes path-level actions (0 = current path).
+type Fail struct {
+	Action action.Action
+	Path   int
+}
+
+func (Assign) isStmt() {}
+func (If) isStmt()     {}
+func (Fail) isStmt()   {}
+
+// VarDecl declares a persistent machine variable with an initial value.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Value
+}
+
+// Transition is one guarded, triggered edge of a state machine.
+type Transition struct {
+	Trigger Trigger
+	Guard   Expr // nil means always
+	Target  string
+	Body    []Stmt
+}
+
+// State is a named machine state with its outgoing transitions. Events with
+// no matching transition are accepted implicitly with no state change
+// (implicit self-transition, §3.3).
+type State struct {
+	Name        string
+	Transitions []Transition
+}
+
+// Machine is one monitor state machine, typically compiled from a single
+// property.
+type Machine struct {
+	Name    string
+	Vars    []VarDecl
+	Initial string
+	States  []State
+}
+
+// StateIndex returns the position of the named state, or -1.
+func (m *Machine) StateIndex(name string) int {
+	for i := range m.States {
+		if m.States[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Var returns the declaration of the named variable, or nil.
+func (m *Machine) Var(name string) *VarDecl {
+	for i := range m.Vars {
+		if m.Vars[i].Name == name {
+			return &m.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Check statically validates the machine: non-empty name and states, a
+// defined initial state, resolvable transition targets, declared variables
+// in expressions and assignments (event fields are implicitly declared),
+// valid fail actions, and no variable shadowing an event field.
+func (m *Machine) Check() error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	if m.Name == "" {
+		fail("machine has no name")
+	}
+	if len(m.States) == 0 {
+		fail("machine %s has no states", m.Name)
+	}
+	if m.Initial == "" {
+		fail("machine %s has no initial state", m.Name)
+	} else if m.StateIndex(m.Initial) < 0 {
+		fail("machine %s: initial state %q undefined", m.Name, m.Initial)
+	}
+	seenVar := map[string]bool{}
+	for _, v := range m.Vars {
+		if v.Name == "" {
+			fail("machine %s: unnamed variable", m.Name)
+			continue
+		}
+		if IsEventField(v.Name) {
+			fail("machine %s: variable %q shadows an event field", m.Name, v.Name)
+		}
+		if seenVar[v.Name] {
+			fail("machine %s: duplicate variable %q", m.Name, v.Name)
+		}
+		seenVar[v.Name] = true
+		if v.Init.T != v.Type {
+			fail("machine %s: variable %q declared %v but initialised with %v",
+				m.Name, v.Name, v.Type, v.Init.T)
+		}
+		if v.Type == TString {
+			fail("machine %s: variable %q: string variables cannot persist across power failures", m.Name, v.Name)
+		}
+	}
+	declared := func(name string) bool {
+		return seenVar[name] || IsEventField(name)
+	}
+	seenState := map[string]bool{}
+	for _, st := range m.States {
+		if st.Name == "" {
+			fail("machine %s: unnamed state", m.Name)
+			continue
+		}
+		if seenState[st.Name] {
+			fail("machine %s: duplicate state %q", m.Name, st.Name)
+		}
+		seenState[st.Name] = true
+		for i, tr := range st.Transitions {
+			where := fmt.Sprintf("machine %s state %s transition %d", m.Name, st.Name, i)
+			if m.StateIndex(tr.Target) < 0 {
+				fail("%s: target state %q undefined", where, tr.Target)
+			}
+			if tr.Guard != nil {
+				for _, id := range FreeIdents(tr.Guard) {
+					if !declared(id) {
+						fail("%s: guard references undeclared %q", where, id)
+					}
+				}
+			}
+			checkStmts(tr.Body, where, declared, fail)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ir: %s", strings.Join(errs, "; "))
+}
+
+func checkStmts(stmts []Stmt, where string, declared func(string) bool, fail func(string, ...any)) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			if !declared(s.Name) {
+				fail("%s: assignment to undeclared %q", where, s.Name)
+			}
+			if IsEventField(s.Name) {
+				fail("%s: assignment to read-only event field %q", where, s.Name)
+			}
+			for _, id := range FreeIdents(s.X) {
+				if !declared(id) {
+					fail("%s: expression references undeclared %q", where, id)
+				}
+			}
+		case If:
+			for _, id := range FreeIdents(s.Cond) {
+				if !declared(id) {
+					fail("%s: condition references undeclared %q", where, id)
+				}
+			}
+			checkStmts(s.Then, where, declared, fail)
+			checkStmts(s.Else, where, declared, fail)
+		case Fail:
+			if s.Action == action.None || !s.Action.Valid() {
+				fail("%s: fail with invalid action", where)
+			}
+			if s.Path < 0 {
+				fail("%s: fail with negative path %d", where, s.Path)
+			}
+		default:
+			fail("%s: unknown statement %T", where, s)
+		}
+	}
+}
+
+// Program is a set of machines — the complete monitor for one application.
+type Program struct {
+	Machines []*Machine
+}
+
+// Check validates every machine and name uniqueness.
+func (p *Program) Check() error {
+	seen := map[string]bool{}
+	var errs []string
+	for _, m := range p.Machines {
+		if seen[m.Name] {
+			errs = append(errs, fmt.Sprintf("duplicate machine %q", m.Name))
+		}
+		seen[m.Name] = true
+		if err := m.Check(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ir: %s", strings.Join(errs, "; "))
+}
+
+// Machine returns the machine with the given name, or nil.
+func (p *Program) Machine(name string) *Machine {
+	for _, m := range p.Machines {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

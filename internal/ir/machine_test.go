@@ -1,0 +1,559 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// maxTriesSrc is the first state machine of Figure 7: at most 10 attempts
+// to start task A before signalling skipPath.
+const maxTriesSrc = `
+machine MaxTries_A {
+    var i: int = 0
+    initial state NotStarted {
+        on start [task == "A"] -> Started { i = 1; }
+    }
+    state Started {
+        on start [task == "A" && i < 10] -> Started { i = i + 1; }
+        on start [task == "A" && i >= 10] -> NotStarted { i = 0; fail skipPath; }
+        on end [task == "A"] -> NotStarted { i = 0; }
+    }
+}
+`
+
+// maxDurationSrc is the second machine of Figure 7: task A must finish
+// within 3 s (3000000 µs) of its start.
+const maxDurationSrc = `
+machine MaxDuration_A {
+    var start: int = 0
+    initial state NotStarted {
+        on start [task == "A"] -> Started { start = t; }
+    }
+    state Started {
+        on end [task == "A" && t <= start + 3000000] -> NotStarted;
+        on any [t > start + 3000000] -> NotStarted { fail skipTask; }
+    }
+}
+`
+
+// collectSrc is the third machine of Figure 7: task A needs 5 items from
+// task B.
+const collectSrc = `
+machine Collect_A_B {
+    var i: int = 0
+    initial state Counting {
+        on end [task == "B"] -> Counting { i = i + 1; }
+        on start [task == "A" && i >= 5] -> Counting { i = 0; }
+        on start [task == "A" && i < 5] -> Counting { i = 0; fail restartPath; }
+    }
+}
+`
+
+// mitdSrc is the fourth machine of Figure 7: task A must start within 2 s
+// of task B's end; on the second violation the whole path is skipped.
+const mitdSrc = `
+machine MITD_A_B {
+    var endB: int = 0
+    var attempts: int = 0
+    initial state WaitEndB {
+        on end [task == "B"] -> WaitStartA { endB = t; }
+    }
+    state WaitStartA {
+        on start [task == "A" && t - endB <= 2000000] -> WaitEndB { attempts = 0; }
+        on start [task == "A" && t - endB > 2000000 && attempts < 1] -> WaitEndB { attempts = attempts + 1; fail restartPath; }
+        on start [task == "A" && t - endB > 2000000 && attempts >= 1] -> WaitEndB { attempts = 0; fail skipPath; }
+    }
+}
+`
+
+func startEv(task string, at simclock.Duration) Event {
+	return Event{Kind: EvStart, Task: task, Time: simclock.Time(at)}
+}
+
+func endEv(task string, at simclock.Duration) Event {
+	return Event{Kind: EvEnd, Task: task, Time: simclock.Time(at)}
+}
+
+func mustMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Machines) != 1 {
+		t.Fatalf("parsed %d machines", len(prog.Machines))
+	}
+	return prog.Machines[0]
+}
+
+func stepAll(t *testing.T, m *Machine, env Env, evs []Event) []Failure {
+	t.Helper()
+	var all []Failure
+	for _, ev := range evs {
+		fs, err := Step(m, env, ev)
+		if err != nil {
+			t.Fatalf("step %v: %v", ev, err)
+		}
+		all = append(all, fs...)
+	}
+	return all
+}
+
+func TestMaxTriesMachine(t *testing.T) {
+	m := mustMachine(t, maxTriesSrc)
+	env := NewVolatileEnv(m)
+
+	// 9 restarts then success: no failure.
+	var evs []Event
+	for i := 0; i < 9; i++ {
+		evs = append(evs, startEv("A", simclock.Duration(i)*simclock.Second))
+	}
+	evs = append(evs, endEv("A", 10*simclock.Second))
+	if fs := stepAll(t, m, env, evs); len(fs) != 0 {
+		t.Fatalf("unexpected failures: %v", fs)
+	}
+
+	// 11th start attempt without an end: skipPath.
+	evs = nil
+	for i := 0; i < 11; i++ {
+		evs = append(evs, startEv("A", simclock.Duration(i)*simclock.Second))
+	}
+	fs := stepAll(t, m, env, evs)
+	if len(fs) != 1 || fs[0].Action != action.SkipPath {
+		t.Fatalf("failures = %v, want one skipPath", fs)
+	}
+
+	// Other tasks never trigger it.
+	env2 := NewVolatileEnv(m)
+	evs = nil
+	for i := 0; i < 30; i++ {
+		evs = append(evs, startEv("B", simclock.Duration(i)*simclock.Second))
+	}
+	if fs := stepAll(t, m, env2, evs); len(fs) != 0 {
+		t.Fatalf("failures for unrelated task: %v", fs)
+	}
+}
+
+func TestMaxDurationMachine(t *testing.T) {
+	m := mustMachine(t, maxDurationSrc)
+
+	// Within budget: fine.
+	env := NewVolatileEnv(m)
+	fs := stepAll(t, m, env, []Event{
+		startEv("A", 0), endEv("A", 2*simclock.Second),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+
+	// Too slow: skipTask on the event past the deadline (anyEvent trigger).
+	env = NewVolatileEnv(m)
+	fs = stepAll(t, m, env, []Event{
+		startEv("A", 0), endEv("A", 4*simclock.Second),
+	})
+	if len(fs) != 1 || fs[0].Action != action.SkipTask {
+		t.Fatalf("failures = %v, want one skipTask", fs)
+	}
+
+	// An unrelated event past the deadline also exposes the violation
+	// ("anyEvent encompasses both the start and end events").
+	env = NewVolatileEnv(m)
+	fs = stepAll(t, m, env, []Event{
+		startEv("A", 0), startEv("B", 5*simclock.Second),
+	})
+	if len(fs) != 1 || fs[0].Action != action.SkipTask {
+		t.Fatalf("failures = %v, want one skipTask", fs)
+	}
+
+	// An unrelated event inside the interval is ignored (implicit
+	// self-transition), and A's timely end still satisfies the property.
+	env = NewVolatileEnv(m)
+	fs = stepAll(t, m, env, []Event{
+		startEv("A", 0), startEv("B", simclock.Second), endEv("A", 2*simclock.Second),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+}
+
+func TestCollectMachine(t *testing.T) {
+	m := mustMachine(t, collectSrc)
+
+	// 5 B-ends then A starts: satisfied.
+	env := NewVolatileEnv(m)
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, endEv("B", simclock.Duration(i)*simclock.Second))
+	}
+	evs = append(evs, startEv("A", 6*simclock.Second))
+	if fs := stepAll(t, m, env, evs); len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+
+	// Only 3 items: restartPath, and the counter resets.
+	env = NewVolatileEnv(m)
+	evs = []Event{endEv("B", 0), endEv("B", 1), endEv("B", 2), startEv("A", 3)}
+	fs := stepAll(t, m, env, evs)
+	if len(fs) != 1 || fs[0].Action != action.RestartPath {
+		t.Fatalf("failures = %v, want one restartPath", fs)
+	}
+	if v, _ := env.GetVar("i"); v.I != 0 {
+		t.Fatalf("counter not reset: %v", v)
+	}
+}
+
+func TestMITDMachine(t *testing.T) {
+	m := mustMachine(t, mitdSrc)
+
+	// A starts within 2 s of B's end: satisfied.
+	env := NewVolatileEnv(m)
+	fs := stepAll(t, m, env, []Event{
+		endEv("B", 0), startEv("A", simclock.Second),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+
+	// First violation: restartPath. Second: skipPath (maxAttempt = 2).
+	env = NewVolatileEnv(m)
+	fs = stepAll(t, m, env, []Event{
+		endEv("B", 0), startEv("A", 10*simclock.Second),
+		endEv("B", 20*simclock.Second), startEv("A", 60*simclock.Second),
+	})
+	if len(fs) != 2 {
+		t.Fatalf("failures = %v, want 2", fs)
+	}
+	if fs[0].Action != action.RestartPath || fs[1].Action != action.SkipPath {
+		t.Fatalf("failures = %v, want restartPath then skipPath", fs)
+	}
+}
+
+func TestResetEnv(t *testing.T) {
+	m := mustMachine(t, maxTriesSrc)
+	env := NewVolatileEnv(m)
+	stepAll(t, m, env, []Event{startEv("A", 0), startEv("A", 1)})
+	if v, _ := env.GetVar("i"); v.I != 2 {
+		t.Fatalf("i = %v before reset", v)
+	}
+	ResetEnv(m, env)
+	if v, _ := env.GetVar("i"); v.I != 0 {
+		t.Fatalf("i = %v after reset, want 0", v)
+	}
+	if env.State() != m.StateIndex("NotStarted") {
+		t.Fatalf("state %d after reset", env.State())
+	}
+}
+
+func TestStepInvalidState(t *testing.T) {
+	m := mustMachine(t, maxTriesSrc)
+	env := NewVolatileEnv(m)
+	env.SetState(99)
+	if _, err := Step(m, env, startEv("A", 0)); err == nil {
+		t.Fatal("invalid state accepted")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Machine
+	}{
+		{"no name", Machine{Initial: "s", States: []State{{Name: "s"}}}},
+		{"no states", Machine{Name: "m", Initial: "s"}},
+		{"no initial", Machine{Name: "m", States: []State{{Name: "s"}}}},
+		{"bad initial", Machine{Name: "m", Initial: "zz", States: []State{{Name: "s"}}}},
+		{"dup state", Machine{Name: "m", Initial: "s", States: []State{{Name: "s"}, {Name: "s"}}}},
+		{"dup var", Machine{Name: "m", Initial: "s",
+			Vars:   []VarDecl{{Name: "x", Type: TInt, Init: Int(0)}, {Name: "x", Type: TInt, Init: Int(0)}},
+			States: []State{{Name: "s"}}}},
+		{"var shadows event field", Machine{Name: "m", Initial: "s",
+			Vars:   []VarDecl{{Name: "task", Type: TInt, Init: Int(0)}},
+			States: []State{{Name: "s"}}}},
+		{"init type mismatch", Machine{Name: "m", Initial: "s",
+			Vars:   []VarDecl{{Name: "x", Type: TInt, Init: Float(1)}},
+			States: []State{{Name: "s"}}}},
+		{"string var", Machine{Name: "m", Initial: "s",
+			Vars:   []VarDecl{{Name: "x", Type: TString, Init: Str("")}},
+			States: []State{{Name: "s"}}}},
+		{"bad target", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{{Trigger: TrigAny, Target: "zz"}}}}}},
+		{"undeclared in guard", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{
+				{Trigger: TrigAny, Target: "s", Guard: Ident{Name: "ghost"}}}}}}},
+		{"assign undeclared", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{
+				{Trigger: TrigAny, Target: "s", Body: []Stmt{Assign{Name: "ghost", X: Lit{Int(1)}}}}}}}}},
+		{"assign event field", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{
+				{Trigger: TrigAny, Target: "s", Body: []Stmt{Assign{Name: "t", X: Lit{Int(1)}}}}}}}}},
+		{"fail none", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{
+				{Trigger: TrigAny, Target: "s", Body: []Stmt{Fail{Action: action.None}}}}}}}},
+		{"fail negative path", Machine{Name: "m", Initial: "s",
+			States: []State{{Name: "s", Transitions: []Transition{
+				{Trigger: TrigAny, Target: "s", Body: []Stmt{Fail{Action: action.SkipPath, Path: -1}}}}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Check(); err == nil {
+			t.Errorf("%s: Check passed", tc.name)
+		}
+	}
+}
+
+func TestProgramCheckDuplicates(t *testing.T) {
+	m := mustMachine(t, maxTriesSrc)
+	p := &Program{Machines: []*Machine{m, m}}
+	if err := p.Check(); err == nil || !strings.Contains(err.Error(), "duplicate machine") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseErrorsIR(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no machine keyword", "thing X {}"},
+		{"missing brace", "machine M { initial state S {"},
+		{"two initials", "machine M { initial state A {} initial state B {} }"},
+		{"bad trigger", `machine M { initial state S { on quux -> S; } }`},
+		{"bad action", `machine M { initial state S { on any -> S { fail explode; } } }`},
+		{"missing arrow", `machine M { initial state S { on any S; } }`},
+		{"bad var type", `machine M { var x: quaternion = 0 initial state S {} }`},
+		{"unterminated string", "machine M { initial state S { on any [task == \"a\n] -> S; } }"},
+		{"undeclared var used", `machine M { initial state S { on any [ghost > 0] -> S; } }`},
+		{"stray token", `machine M { initial state S {} } 42`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: parse succeeded", tc.name)
+		}
+	}
+}
+
+func TestMustParsePanicsIR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	src := maxTriesSrc + maxDurationSrc + collectSrc + mitdSrc
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := p1.String()
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if p2.String() != printed {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", printed, p2.String())
+	}
+}
+
+// Property: the round-tripped program is behaviourally identical — the same
+// event sequence produces the same failures and final state.
+func TestRoundTripBehaviourProperty(t *testing.T) {
+	src := maxTriesSrc + maxDurationSrc + collectSrc + mitdSrc
+	p1 := MustParse(src)
+	p2 := MustParse(p1.String())
+	tasks := []string{"A", "B", "C"}
+	f := func(kinds []bool, taskSel []uint8, gaps []uint16) bool {
+		n := len(kinds)
+		if n > 40 {
+			n = 40
+		}
+		var evs []Event
+		at := simclock.Duration(0)
+		for i := 0; i < n; i++ {
+			at += simclock.Duration(pick16(gaps, i)) * simclock.Millisecond
+			kind := EvStart
+			if kinds[i] {
+				kind = EvEnd
+			}
+			evs = append(evs, Event{Kind: kind, Task: tasks[pick8(taskSel, i)%len(tasks)], Time: simclock.Time(at)})
+		}
+		for mi := range p1.Machines {
+			m1, m2 := p1.Machines[mi], p2.Machines[mi]
+			e1, e2 := NewVolatileEnv(m1), NewVolatileEnv(m2)
+			for _, ev := range evs {
+				f1, err1 := Step(m1, e1, ev)
+				f2, err2 := Step(m2, e2, ev)
+				if (err1 == nil) != (err2 == nil) || len(f1) != len(f2) {
+					return false
+				}
+				for i := range f1 {
+					if f1[i].Action != f2[i].Action || f1[i].Path != f2[i].Path {
+						return false
+					}
+				}
+			}
+			if e1.State() != e2.State() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pick8(xs []uint8, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return int(xs[i%len(xs)])
+}
+
+func pick16(xs []uint16, i int) int {
+	if len(xs) == 0 {
+		return 1
+	}
+	return int(xs[i%len(xs)])
+}
+
+func TestTriggerMatches(t *testing.T) {
+	if !TrigStart.Matches(EvStart) || TrigStart.Matches(EvEnd) {
+		t.Error("TrigStart wrong")
+	}
+	if !TrigEnd.Matches(EvEnd) || TrigEnd.Matches(EvStart) {
+		t.Error("TrigEnd wrong")
+	}
+	if !TrigAny.Matches(EvStart) || !TrigAny.Matches(EvEnd) {
+		t.Error("TrigAny wrong")
+	}
+}
+
+func TestEventScope(t *testing.T) {
+	ev := Event{Kind: EvEnd, Task: "send", Time: 1234, Path: 2, Data: 36.7}
+	sc := ev.Scope()
+	if v, _ := sc.Lookup("task"); v.S != "send" {
+		t.Error("task binding wrong")
+	}
+	if v, _ := sc.Lookup("t"); v.I != 1234 {
+		t.Error("t binding wrong")
+	}
+	if v, _ := sc.Lookup("path"); v.I != 2 {
+		t.Error("path binding wrong")
+	}
+	if v, _ := sc.Lookup("data"); v.F != 36.7 {
+		t.Error("data binding wrong")
+	}
+}
+
+func TestCoerceAssignIntFloat(t *testing.T) {
+	src := `
+machine M {
+    var f: float = 0.0
+    initial state S {
+        on any -> S { f = 1 + 2; }
+    }
+}`
+	m := mustMachine(t, src)
+	env := NewVolatileEnv(m)
+	if _, err := Step(m, env, startEv("x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := env.GetVar("f"); v.T != TFloat || v.F != 3 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestIfElseStatement(t *testing.T) {
+	src := `
+machine M {
+    var hot: bool = false
+    initial state S {
+        on end -> S { if data > 38.0 { hot = true; fail completePath; } else { hot = false; } }
+    }
+}`
+	m := mustMachine(t, src)
+	env := NewVolatileEnv(m)
+	fs, err := Step(m, env, Event{Kind: EvEnd, Task: "x", Data: 39.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Action != action.CompletePath {
+		t.Fatalf("failures = %v", fs)
+	}
+	if v, _ := env.GetVar("hot"); !v.B {
+		t.Fatal("hot not set")
+	}
+	fs, err = Step(m, env, Event{Kind: EvEnd, Task: "x", Data: 36.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+	if v, _ := env.GetVar("hot"); v.B {
+		t.Fatal("hot not cleared by else branch")
+	}
+}
+
+func TestFailPathClause(t *testing.T) {
+	src := `
+machine M {
+    initial state S {
+        on start -> S { fail restartPath path 2; }
+    }
+}`
+	m := mustMachine(t, src)
+	env := NewVolatileEnv(m)
+	fs, err := Step(m, env, startEv("x", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Path != 2 || fs[0].Action != action.RestartPath {
+		t.Fatalf("failures = %v", fs)
+	}
+	if got := fs[0].String(); !strings.Contains(got, "path 2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	prog := MustParse(maxTriesSrc + mitdSrc)
+	out := DOT(prog)
+	for _, want := range []string{
+		"digraph monitors",
+		"cluster_0", "cluster_1",
+		`label="MaxTries_A"`, `label="MITD_A_B"`,
+		"NotStarted", "WaitEndB",
+		"color=red", // failure transitions highlighted
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Long labels are truncated, and every state referenced by a transition
+	// is declared.
+	if strings.Contains(out, "s_0_-1") || strings.Contains(out, "s_1_-1") {
+		t.Error("transition to undeclared state index")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		EvStart.String():      "start",
+		EvEnd.String():        "end",
+		EventKind(9).String(): "event(9)",
+		TrigAny.String():      "any",
+		Trigger(9).String():   "trigger(9)",
+		Type(9).String():      "type(9)",
+		(Event{Kind: EvEnd, Task: "send", Time: 5, Path: 2}).String(): "end(send) at 5us path 2",
+		(Failure{Machine: "m", Action: action.SkipTask}).String():     "m: skipTask",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}

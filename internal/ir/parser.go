@@ -1,0 +1,473 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+)
+
+// Parse parses a textual IR program: a sequence of machine definitions.
+// This is the §3.3 escape hatch — developers author it directly when the
+// property specification language lacks expressiveness — and also the
+// format cmd/artemisgen emits for inspection.
+func Parse(src string) (*Program, error) {
+	p := &irParser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tEOF {
+		m, err := p.machine()
+		if err != nil {
+			return nil, err
+		}
+		prog.Machines = append(prog.Machines, m)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse panics on parse failure.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type irParser struct {
+	lex *lexer
+	tok tok
+}
+
+func (p *irParser) next() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *irParser) expectIdent(want string) error {
+	if p.tok.kind != tIdent || p.tok.text != want {
+		return fmt.Errorf("%s: expected %q, found %v", p.tok.pos(), want, p.tok)
+	}
+	return p.next()
+}
+
+func (p *irParser) expectOp(op string) error {
+	if p.tok.kind != tOp || p.tok.text != op {
+		return fmt.Errorf("%s: expected %q, found %v", p.tok.pos(), op, p.tok)
+	}
+	return p.next()
+}
+
+func (p *irParser) ident() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", fmt.Errorf("%s: expected identifier, found %v", p.tok.pos(), p.tok)
+	}
+	name := p.tok.text
+	return name, p.next()
+}
+
+func (p *irParser) isOp(op string) bool { return p.tok.kind == tOp && p.tok.text == op }
+
+func (p *irParser) isIdent(word string) bool { return p.tok.kind == tIdent && p.tok.text == word }
+
+// machine := 'machine' IDENT '{' varDecl* stateDecl* '}'
+func (p *irParser) machine() (*Machine, error) {
+	if err := p.expectIdent("machine"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	m := &Machine{Name: name}
+	for p.isIdent("var") {
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		m.Vars = append(m.Vars, v)
+	}
+	for p.isIdent("initial") || p.isIdent("state") {
+		initial := p.isIdent("initial")
+		if initial {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		st, err := p.stateDecl()
+		if err != nil {
+			return nil, err
+		}
+		if initial {
+			if m.Initial != "" {
+				return nil, fmt.Errorf("machine %s: multiple initial states", name)
+			}
+			m.Initial = st.Name
+		}
+		m.States = append(m.States, st)
+	}
+	if err := p.expectOp("}"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// varDecl := 'var' IDENT ':' type '=' literal
+func (p *irParser) varDecl() (VarDecl, error) {
+	if err := p.expectIdent("var"); err != nil {
+		return VarDecl{}, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if err := p.expectOp(":"); err != nil {
+		return VarDecl{}, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	typ, err := ParseType(typeName)
+	if err != nil {
+		return VarDecl{}, fmt.Errorf("%s: %w", p.tok.pos(), err)
+	}
+	if err := p.expectOp("="); err != nil {
+		return VarDecl{}, err
+	}
+	init, err := p.literal()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if init.T == TInt && typ == TFloat {
+		init = Float(float64(init.I))
+	}
+	return VarDecl{Name: name, Type: typ, Init: init}, nil
+}
+
+func (p *irParser) literal() (Value, error) {
+	t := p.tok
+	switch t.kind {
+	case tInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%s: %w", t.pos(), err)
+		}
+		return Int(n), p.next()
+	case tFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%s: %w", t.pos(), err)
+		}
+		return Float(f), p.next()
+	case tString:
+		return Str(t.text), p.next()
+	case tIdent:
+		switch t.text {
+		case "true":
+			return Bool(true), p.next()
+		case "false":
+			return Bool(false), p.next()
+		}
+	case tOp:
+		if t.text == "-" {
+			if err := p.next(); err != nil {
+				return Value{}, err
+			}
+			v, err := p.literal()
+			if err != nil {
+				return Value{}, err
+			}
+			switch v.T {
+			case TInt:
+				return Int(-v.I), nil
+			case TFloat:
+				return Float(-v.F), nil
+			}
+			return Value{}, fmt.Errorf("%s: cannot negate %v literal", t.pos(), v.T)
+		}
+	}
+	return Value{}, fmt.Errorf("%s: expected literal, found %v", t.pos(), t)
+}
+
+// stateDecl := 'state' IDENT '{' transition* '}'
+func (p *irParser) stateDecl() (State, error) {
+	if err := p.expectIdent("state"); err != nil {
+		return State{}, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return State{}, err
+	}
+	if err := p.expectOp("{"); err != nil {
+		return State{}, err
+	}
+	st := State{Name: name}
+	for p.isIdent("on") {
+		tr, err := p.transition()
+		if err != nil {
+			return State{}, err
+		}
+		st.Transitions = append(st.Transitions, tr)
+	}
+	if err := p.expectOp("}"); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// transition := 'on' trigger guard? '->' IDENT (block | ';')
+func (p *irParser) transition() (Transition, error) {
+	if err := p.expectIdent("on"); err != nil {
+		return Transition{}, err
+	}
+	trigName, err := p.ident()
+	if err != nil {
+		return Transition{}, err
+	}
+	var trig Trigger
+	switch trigName {
+	case "start":
+		trig = TrigStart
+	case "end":
+		trig = TrigEnd
+	case "any":
+		trig = TrigAny
+	default:
+		return Transition{}, fmt.Errorf("%s: unknown trigger %q (want start, end, or any)", p.tok.pos(), trigName)
+	}
+	tr := Transition{Trigger: trig}
+	if p.isOp("[") {
+		if err := p.next(); err != nil {
+			return Transition{}, err
+		}
+		tr.Guard, err = p.expr()
+		if err != nil {
+			return Transition{}, err
+		}
+		if err := p.expectOp("]"); err != nil {
+			return Transition{}, err
+		}
+	}
+	if p.tok.kind != tArrow {
+		return Transition{}, fmt.Errorf("%s: expected '->', found %v", p.tok.pos(), p.tok)
+	}
+	if err := p.next(); err != nil {
+		return Transition{}, err
+	}
+	tr.Target, err = p.ident()
+	if err != nil {
+		return Transition{}, err
+	}
+	if p.isOp(";") {
+		return tr, p.next()
+	}
+	tr.Body, err = p.block()
+	return tr, err
+}
+
+// block := '{' stmt* '}'
+func (p *irParser) block() ([]Stmt, error) {
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.isOp("}") {
+		if p.tok.kind == tEOF {
+			return nil, fmt.Errorf("%s: unterminated block", p.tok.pos())
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.next()
+}
+
+// stmt := IDENT '=' expr ';' | 'if' expr block ('else' block)? | 'fail' action ('path' INT)? ';'
+func (p *irParser) stmt() (Stmt, error) {
+	switch {
+	case p.isIdent("if"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isIdent("else") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case p.isIdent("fail"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		actName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		act, err := action.Parse(actName)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.tok.pos(), err)
+		}
+		f := Fail{Action: act}
+		if p.isIdent("path") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tInt {
+				return nil, fmt.Errorf("%s: expected path number, found %v", p.tok.pos(), p.tok)
+			}
+			n, err := strconv.Atoi(p.tok.text)
+			if err != nil {
+				return nil, err
+			}
+			f.Path = n
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		return f, p.expectOp(";")
+	case p.tok.kind == tIdent:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Name: name, X: x}, p.expectOp(";")
+	}
+	return nil, fmt.Errorf("%s: expected statement, found %v", p.tok.pos(), p.tok)
+}
+
+// Expression grammar, lowest to highest precedence:
+// or → and → equality → comparison → additive → multiplicative → unary → primary.
+
+func (p *irParser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *irParser) binaryLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.isOp(op) {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = Binary{Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *irParser) orExpr() (Expr, error) {
+	return p.binaryLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *irParser) andExpr() (Expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.eqExpr)
+}
+
+func (p *irParser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]string{"==", "!="}, p.cmpExpr)
+}
+
+func (p *irParser) cmpExpr() (Expr, error) {
+	return p.binaryLevel([]string{"<=", ">=", "<", ">"}, p.addExpr)
+}
+
+func (p *irParser) addExpr() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *irParser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unaryExpr)
+}
+
+func (p *irParser) unaryExpr() (Expr, error) {
+	for _, op := range []string{"!", "-"} {
+		if p.isOp(op) {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Unary{Op: op, X: x}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *irParser) primary() (Expr, error) {
+	t := p.tok
+	switch {
+	case t.kind == tInt, t.kind == tFloat, t.kind == tString:
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return Lit{V: v}, nil
+	case t.kind == tIdent && (t.text == "true" || t.text == "false"):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return Lit{V: v}, nil
+	case t.kind == tIdent:
+		return Ident{Name: t.text}, p.next()
+	case p.isOp("("):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectOp(")")
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %v", t.pos(), t)
+}

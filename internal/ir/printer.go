@@ -1,0 +1,97 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in the textual concrete syntax; Parse of the
+// output yields an equivalent program (round-trip tested).
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, m := range p.Machines {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// String renders one machine.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s {\n", m.Name)
+	for _, v := range m.Vars {
+		fmt.Fprintf(&b, "    var %s: %v = %v\n", v.Name, v.Type, v.Init)
+	}
+	for _, st := range m.States {
+		prefix := "state"
+		if st.Name == m.Initial {
+			prefix = "initial state"
+		}
+		fmt.Fprintf(&b, "    %s %s {\n", prefix, st.Name)
+		for _, tr := range st.Transitions {
+			b.WriteString("        ")
+			b.WriteString(tr.String())
+			b.WriteString("\n")
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one transition.
+func (tr Transition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "on %v", tr.Trigger)
+	if tr.Guard != nil {
+		fmt.Fprintf(&b, " [%v]", tr.Guard)
+	}
+	fmt.Fprintf(&b, " -> %s", tr.Target)
+	if len(tr.Body) == 0 {
+		b.WriteString(";")
+		return b.String()
+	}
+	b.WriteString(" {")
+	for _, s := range tr.Body {
+		b.WriteString(" ")
+		writeStmt(&b, s, "")
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s Stmt, indent string) {
+	s.writeTo(b, indent)
+}
+
+func (s Assign) writeTo(b *strings.Builder, _ string) {
+	fmt.Fprintf(b, "%s = %v;", s.Name, s.X)
+}
+
+func (s If) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "if %v {", s.Cond)
+	for _, st := range s.Then {
+		b.WriteString(" ")
+		writeStmt(b, st, indent)
+	}
+	b.WriteString(" }")
+	if len(s.Else) > 0 {
+		b.WriteString(" else {")
+		for _, st := range s.Else {
+			b.WriteString(" ")
+			writeStmt(b, st, indent)
+		}
+		b.WriteString(" }")
+	}
+}
+
+func (s Fail) writeTo(b *strings.Builder, _ string) {
+	fmt.Fprintf(b, "fail %v", s.Action)
+	if s.Path != 0 {
+		fmt.Fprintf(b, " path %d", s.Path)
+	}
+	b.WriteString(";")
+}

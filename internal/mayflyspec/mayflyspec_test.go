@@ -1,0 +1,151 @@
+package mayflyspec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/transform"
+)
+
+func TestParseHealthSource(t *testing.T) {
+	cs, err := Parse(HealthSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("constraints = %d, want 4", len(cs))
+	}
+	first := cs[0]
+	if first.Producer != "accel" || first.Consumer != "send" ||
+		first.Path != 2 || first.Expires != 5*simclock.Minute {
+		t.Fatalf("first constraint = %+v", first)
+	}
+	last := cs[3]
+	if last.Producer != "bodyTemp" || last.Consumer != "calcAvg" ||
+		last.Path != 0 || last.Collect != 10 {
+		t.Fatalf("last constraint = %+v", last)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", "// nothing\n"},
+		{"no semicolon", "a -> b: collect 1"},
+		{"no colon", "a -> b collect 1;"},
+		{"no arrow", "a b: collect 1;"},
+		{"empty producer", " -> b: collect 1;"},
+		{"empty consumer", "a -> : collect 1;"},
+		{"bad qualifier", "a -> b [lane 2]: collect 1;"},
+		{"bad path number", "a -> b [path x]: collect 1;"},
+		{"zero path", "a -> b [path 0]: collect 1;"},
+		{"unknown constraint", "a -> b: freshness 5min;"},
+		{"bad duration", "a -> b: expires soon;"},
+		{"zero duration", "a -> b: expires 0s;"},
+		{"bad count", "a -> b: collect many;"},
+		{"zero count", "a -> b: collect 0;"},
+		{"extra tokens", "a -> b: collect 1 2;"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: parse succeeded", tc.name)
+		}
+	}
+}
+
+func TestToSpecGroupsByConsumer(t *testing.T) {
+	s, err := Compile(HealthSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (send, calcAvg)", len(s.Blocks))
+	}
+	send := s.Block("send")
+	if send == nil || len(send.Props) != 3 {
+		t.Fatalf("send block = %+v", send)
+	}
+	for _, p := range send.Props {
+		if p.OnFail != action.RestartPath {
+			t.Fatalf("Mayfly semantics lost: onFail = %v", p.OnFail)
+		}
+	}
+	if send.Props[0].Kind != spec.KindMITD || send.Props[0].Duration != 5*simclock.Minute {
+		t.Fatalf("expires mapped wrong: %+v", send.Props[0])
+	}
+}
+
+// The §7 claim end to end: a Mayfly-language specification compiles through
+// the standard ARTEMIS pipeline to checked IR machines.
+func TestCompilesThroughStandardPipeline(t *testing.T) {
+	s, err := Compile(HealthSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := health.New()
+	res, err := transform.Compile(s, transform.Options{Graph: app.Graph, DataVars: health.Keys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Machines) != 4 {
+		t.Fatalf("machines = %d, want 4", len(res.Program.Machines))
+	}
+	// The MITD machine behaves like Mayfly: every violation restarts the
+	// path, forever (no maxAttempt in the source language).
+	m := res.Program.Machine("MITD_send_accel")
+	if m == nil {
+		t.Fatal("MITD machine missing")
+	}
+	env := ir.NewVolatileEnv(m)
+	for i := 0; i < 4; i++ {
+		at := simclock.Time(simclock.Duration(i*20) * simclock.Minute)
+		if _, err := ir.Step(m, env, ir.Event{Kind: ir.EvEnd, Task: "accel", Time: at, Path: 2}); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := ir.Step(m, env, ir.Event{Kind: ir.EvStart, Task: "send", Time: at.Add(10 * simclock.Minute), Path: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 1 || fs[0].Action != action.RestartPath {
+			t.Fatalf("violation %d: %v, want restartPath forever", i, fs)
+		}
+	}
+}
+
+// Mixing frontends: Mayfly constraints plus a native ARTEMIS maxAttempt
+// bound — the combination neither language supports alone.
+func TestMixWithNativeProperties(t *testing.T) {
+	s, err := Compile("micSense -> send [path 3]: collect 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := spec.MustParse(`accel { maxTries: 10 onFail: skipPath; }`)
+	s.Blocks = append(s.Blocks, native.Blocks...)
+
+	app := health.New()
+	res, err := transform.Compile(s, transform.Options{Graph: app.Graph, DataVars: health.Keys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(res.Program.Machines))
+	}
+}
+
+func TestRoundTripThroughSpecPrinter(t *testing.T) {
+	s, err := Compile(HealthSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := s.String()
+	if _, err := spec.Parse(printed); err != nil {
+		t.Fatalf("translated spec does not reparse: %v\n%s", err, printed)
+	}
+	if !strings.Contains(printed, "MITD: 5m") {
+		t.Fatalf("printed spec missing MITD:\n%s", printed)
+	}
+}

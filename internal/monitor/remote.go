@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// Interface is what the runtime needs from a monitor deployment. Set is the
+// on-device deployment; Remote moves evaluation to an external wireless
+// device (§7 "Implementation Alternatives").
+type Interface interface {
+	// Deliver processes one event, idempotently per sequence number.
+	Deliver(ev Event) ([]ir.Failure, error)
+	// Reset hard-resets all monitors (first boot).
+	Reset()
+	// Rollback discards uncommitted staging after a reboot.
+	Rollback()
+	// ResetPath re-initialises the monitors of a restarted path.
+	ResetPath(id int)
+	// HostMachines is the number of machines evaluated on the host MCU;
+	// the runtime charges per-machine dispatch cost for them. A remote
+	// deployment evaluates none on the host.
+	HostMachines() int
+}
+
+// HostMachines implements Interface for the on-device Set.
+func (s *Set) HostMachines() int { return len(s.monitors) }
+
+// RadioCost is the per-event cost of shipping an event to an external
+// monitoring device and receiving the verdict back. The paper notes that
+// "wireless communication is way more energy-hungry compared to
+// computation" — these defaults make that concrete for a BLE-class link.
+type RadioCost struct {
+	TxLatency simclock.Duration
+	TxEnergy  energy.Joules
+	RxLatency simclock.Duration
+	RxEnergy  energy.Joules
+}
+
+// DefaultRadioCost models a short BLE exchange: a ~20-byte event
+// notification out, a ~8-byte verdict back.
+func DefaultRadioCost() RadioCost {
+	return RadioCost{
+		TxLatency: 3 * simclock.Millisecond,
+		TxEnergy:  energy.Microjoules(45),
+		RxLatency: 2 * simclock.Millisecond,
+		RxEnergy:  energy.Microjoules(30),
+	}
+}
+
+// Remote deploys the monitor set on an external device: the host pays radio
+// costs per event instead of evaluation costs, and gains the modularity the
+// paper describes — monitors can be redeployed without touching the host
+// image. The external device is assumed continuously powered (it carries
+// its own supply), so monitor state needs no host NVM; the wrapped Set
+// still persists state, modelling an external device that is itself
+// intermittent-safe.
+type Remote struct {
+	set  *Set
+	mcu  *device.MCU
+	cost RadioCost
+}
+
+// NewRemote wraps a monitor set as an external deployment, charging radio
+// costs on the given host MCU.
+func NewRemote(set *Set, mcu *device.MCU, cost RadioCost) *Remote {
+	return &Remote{set: set, mcu: mcu, cost: cost}
+}
+
+// Deliver implements Interface: transmit the event, evaluate remotely,
+// receive the verdict.
+func (r *Remote) Deliver(ev Event) ([]ir.Failure, error) {
+	r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
+	fs, err := r.set.Deliver(ev)
+	if err != nil {
+		return nil, err
+	}
+	r.mcu.Radio(r.cost.RxLatency, r.cost.RxEnergy)
+	return fs, nil
+}
+
+// Reset implements Interface.
+func (r *Remote) Reset() { r.set.Reset() }
+
+// Rollback implements Interface.
+func (r *Remote) Rollback() { r.set.Rollback() }
+
+// ResetPath implements Interface; the re-initialisation command is another
+// radio exchange.
+func (r *Remote) ResetPath(id int) {
+	r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
+	r.set.ResetPath(id)
+}
+
+// HostMachines implements Interface: nothing evaluates on the host.
+func (r *Remote) HostMachines() int { return 0 }
+
+// Set returns the wrapped on-device set, for inspection in tests.
+func (r *Remote) Set() *Set { return r.set }

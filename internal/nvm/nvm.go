@@ -1,0 +1,513 @@
+// Package nvm models the ferroelectric RAM (FRAM) of an MSP430FR-class
+// microcontroller: byte-addressable non-volatile memory whose individual
+// writes persist immediately, plus the higher-level all-or-nothing commit
+// facility that intermittent runtimes build on top of it.
+//
+// Three layers:
+//
+//   - Memory: the raw FRAM array. Every Write persists (it survives any
+//     later power failure), allocation is tracked per owner/name so that
+//     experiments can report the FRAM footprint of each component (Table 2),
+//     and read/write counters feed the device energy model.
+//   - Region: a named allocation inside a Memory, with fixed-width integer
+//     accessors.
+//   - Committed: a double-buffered region with a single-byte selector flip
+//     as the atomic commit point. Task outputs and monitor state use this so
+//     that a power failure at any instant leaves either the old or the new
+//     contents, never a mixture.
+//
+// A crash hook can interrupt a write after any byte, which the tests use to
+// prove commit atomicity at every possible failure point.
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Stats counts FRAM traffic; the device model converts these to energy.
+type Stats struct {
+	Reads        int64 // read operations
+	Writes       int64 // write operations
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Memory is a simulated FRAM array with a bump allocator and per-owner
+// footprint accounting.
+type Memory struct {
+	data  []byte
+	next  int
+	allot []Allocation
+	stats Stats
+	wear  map[string]int64 // owner -> bytes written (endurance accounting)
+
+	// crashAfter, when positive, counts down with every byte written; when
+	// it reaches zero the crash hook runs (typically panicking with the
+	// device's power-failure sentinel), leaving a torn multi-byte write.
+	crashAfter int
+	crashHook  func()
+}
+
+// Allocation describes one region handed out by Alloc.
+type Allocation struct {
+	Owner string // component, e.g. "runtime", "monitor", "app"
+	Name  string // variable name, e.g. "curTask"
+	Off   int
+	Size  int
+}
+
+// New returns a zeroed FRAM of the given size in bytes.
+func New(size int) *Memory {
+	if size <= 0 {
+		panic(fmt.Sprintf("nvm: non-positive memory size %d", size))
+	}
+	return &Memory{data: make([]byte, size), wear: map[string]int64{}}
+}
+
+// Size returns the total FRAM capacity in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Used returns the number of bytes allocated so far.
+func (m *Memory) Used() int { return m.next }
+
+// Stats returns the access counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats clears the access counters (footprint accounting is kept).
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// SetCrashHook arranges for hook to run after n more bytes have been
+// written. Pass n <= 0 to disarm. The hook typically panics with a
+// power-failure sentinel so that tests can exercise torn writes.
+func (m *Memory) SetCrashHook(n int, hook func()) {
+	m.crashAfter = n
+	m.crashHook = hook
+}
+
+// Reboot models a power-cycle as seen by the FRAM: all data is retained,
+// but the allocator restarts from zero because the next boot re-runs the
+// same allocation sequence (on real hardware the linker assigns each
+// persistent variable the same address on every boot). Allocation order
+// must therefore be deterministic across boots, which boot code written as
+// straight-line initialisation guarantees.
+func (m *Memory) Reboot() {
+	m.next = 0
+	m.allot = nil
+	m.crashAfter = 0
+	m.crashHook = nil
+}
+
+// Alloc reserves size bytes for the given owner and variable name.
+func (m *Memory) Alloc(owner, name string, size int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nvm: non-positive allocation %d for %s/%s", size, owner, name)
+	}
+	if m.next+size > len(m.data) {
+		return nil, fmt.Errorf("nvm: out of memory allocating %d bytes for %s/%s (used %d of %d)",
+			size, owner, name, m.next, len(m.data))
+	}
+	a := Allocation{Owner: owner, Name: name, Off: m.next, Size: size}
+	m.allot = append(m.allot, a)
+	m.next += size
+	return &Region{mem: m, off: a.Off, size: size, owner: owner, name: name}, nil
+}
+
+// MustAlloc is Alloc that panics on failure; for static layouts established
+// at boot, where failure is a configuration bug.
+func (m *Memory) MustAlloc(owner, name string, size int) *Region {
+	r, err := m.Alloc(owner, name, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FootprintBy returns the total bytes allocated by one owner.
+func (m *Memory) FootprintBy(owner string) int {
+	total := 0
+	for _, a := range m.allot {
+		if a.Owner == owner {
+			total += a.Size
+		}
+	}
+	return total
+}
+
+// Owners returns the distinct owners with allocations, sorted.
+func (m *Memory) Owners() []string {
+	seen := map[string]bool{}
+	for _, a := range m.allot {
+		seen[a.Owner] = true
+	}
+	owners := make([]string, 0, len(seen))
+	for o := range seen {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	return owners
+}
+
+// Allocations returns a copy of the allocation table.
+func (m *Memory) Allocations() []Allocation {
+	out := make([]Allocation, len(m.allot))
+	copy(out, m.allot)
+	return out
+}
+
+func (m *Memory) read(off, n int) []byte {
+	m.stats.Reads++
+	m.stats.BytesRead += int64(n)
+	return m.data[off : off+n]
+}
+
+func (m *Memory) write(off int, p []byte) {
+	m.stats.Writes++
+	if owner := m.ownerAt(off); owner != "" {
+		m.wear[owner] += int64(len(p))
+	}
+	for i, b := range p {
+		m.data[off+i] = b
+		m.stats.BytesWritten++
+		if m.crashAfter > 0 {
+			m.crashAfter--
+			if m.crashAfter == 0 && m.crashHook != nil {
+				hook := m.crashHook
+				m.crashHook = nil
+				hook()
+			}
+		}
+	}
+}
+
+// ownerAt resolves the owner of the allocation containing off, or "".
+// Allocations are contiguous and sorted by offset (bump allocator), so a
+// binary search suffices.
+func (m *Memory) ownerAt(off int) string {
+	lo, hi := 0, len(m.allot)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		a := m.allot[mid]
+		switch {
+		case off < a.Off:
+			hi = mid - 1
+		case off >= a.Off+a.Size:
+			lo = mid + 1
+		default:
+			return a.Owner
+		}
+	}
+	return ""
+}
+
+// WearOf returns the total bytes written into one owner's allocations —
+// the quantity FRAM endurance budgets are written against. Unlike the
+// footprint, wear accumulates with runtime activity, so components that
+// commit on every event (monitors) wear far faster than their static size
+// suggests.
+func (m *Memory) WearOf(owner string) int64 { return m.wear[owner] }
+
+// Region is a named slice of FRAM.
+type Region struct {
+	mem   *Memory
+	off   int
+	size  int
+	owner string
+	name  string
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int { return r.size }
+
+// Owner returns the component that allocated the region.
+func (r *Region) Owner() string { return r.owner }
+
+// Name returns the variable name of the region.
+func (r *Region) Name() string { return r.name }
+
+func (r *Region) check(off, n int) {
+	if off < 0 || n < 0 || off+n > r.size {
+		panic(fmt.Sprintf("nvm: access [%d,%d) out of region %s/%s size %d",
+			off, off+n, r.owner, r.name, r.size))
+	}
+}
+
+// Read copies region bytes [off, off+len(p)) into p.
+func (r *Region) Read(off int, p []byte) {
+	r.check(off, len(p))
+	copy(p, r.mem.read(r.off+off, len(p)))
+}
+
+// Write persists p at region offset off.
+func (r *Region) Write(off int, p []byte) {
+	r.check(off, len(p))
+	r.mem.write(r.off+off, p)
+}
+
+// ReadUint64 reads a little-endian uint64 at region offset off.
+func (r *Region) ReadUint64(off int) uint64 {
+	r.check(off, 8)
+	return binary.LittleEndian.Uint64(r.mem.read(r.off+off, 8))
+}
+
+// WriteUint64 persists a little-endian uint64 at region offset off.
+func (r *Region) WriteUint64(off int, v uint64) {
+	r.check(off, 8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	r.mem.write(r.off+off, buf[:])
+}
+
+// ByteAt reads one byte.
+func (r *Region) ByteAt(off int) byte {
+	r.check(off, 1)
+	return r.mem.read(r.off+off, 1)[0]
+}
+
+// SetByteAt persists one byte. Single-byte writes are the atomic primitive
+// of the FRAM model; Committed uses one as its commit point.
+func (r *Region) SetByteAt(off int, b byte) {
+	r.check(off, 1)
+	r.mem.write(r.off+off, []byte{b})
+}
+
+// Word is the set of fixed-width scalar types storable in a Var.
+type Word interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64 | ~float64 | ~bool
+}
+
+// Var is a persistent scalar variable: eight bytes of FRAM holding one Word.
+// Writes persist immediately; a torn write of a Var is possible under the
+// crash hook (real multi-byte FRAM stores are not atomic either), which is
+// why multi-variable consistency goes through Committed.
+type Var[T Word] struct {
+	r *Region
+}
+
+// AllocVar reserves a persistent variable in m.
+func AllocVar[T Word](m *Memory, owner, name string) (*Var[T], error) {
+	r, err := m.Alloc(owner, name, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Var[T]{r: r}, nil
+}
+
+// MustAllocVar is AllocVar that panics on allocation failure.
+func MustAllocVar[T Word](m *Memory, owner, name string) *Var[T] {
+	v, err := AllocVar[T](m, owner, name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Get reads the variable.
+func (v *Var[T]) Get() T {
+	return decodeWord[T](v.r.ReadUint64(0))
+}
+
+// Set persists the variable.
+func (v *Var[T]) Set(val T) {
+	v.r.WriteUint64(0, encodeWord(val))
+}
+
+func encodeWord[T Word](val T) uint64 {
+	switch x := any(val).(type) {
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case int:
+		return uint64(int64(x))
+	case int32:
+		return uint64(int64(x))
+	case int64:
+		return uint64(x)
+	case uint32:
+		return uint64(x)
+	case uint64:
+		return x
+	case float64:
+		return math.Float64bits(x)
+	default:
+		// Named types with Word underlying types land here; reflect-free
+		// conversion via the type parameter is not possible in a switch, so
+		// encode through the only lossless common representation.
+		return encodeNamed(val)
+	}
+}
+
+func decodeWord[T Word](bits uint64) T {
+	var zero T
+	switch any(zero).(type) {
+	case bool:
+		return any(bits != 0).(T)
+	case int:
+		return any(int(int64(bits))).(T)
+	case int32:
+		return any(int32(int64(bits))).(T)
+	case int64:
+		return any(int64(bits)).(T)
+	case uint32:
+		return any(uint32(bits)).(T)
+	case uint64:
+		return any(bits).(T)
+	case float64:
+		return any(math.Float64frombits(bits)).(T)
+	default:
+		return decodeNamed[T](bits)
+	}
+}
+
+// encodeNamed handles named types whose underlying type is a Word (e.g.
+// simclock.Time, which is a named int64); these do not match the concrete
+// cases of the type switch above.
+func encodeNamed[T Word](val T) uint64 {
+	rv := reflect.ValueOf(val)
+	switch rv.Kind() {
+	case reflect.Bool:
+		if rv.Bool() {
+			return 1
+		}
+		return 0
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		return uint64(rv.Int())
+	case reflect.Uint32, reflect.Uint64:
+		return rv.Uint()
+	case reflect.Float64:
+		return math.Float64bits(rv.Float())
+	default:
+		panic(fmt.Sprintf("nvm: unsupported Var kind %v", rv.Kind()))
+	}
+}
+
+func decodeNamed[T Word](bits uint64) T {
+	var zero T
+	rv := reflect.New(reflect.TypeOf(zero)).Elem()
+	switch rv.Kind() {
+	case reflect.Bool:
+		rv.SetBool(bits != 0)
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		rv.SetInt(int64(bits))
+	case reflect.Uint32, reflect.Uint64:
+		rv.SetUint(bits)
+	case reflect.Float64:
+		rv.SetFloat(math.Float64frombits(bits))
+	default:
+		panic(fmt.Sprintf("nvm: unsupported Var kind %v", rv.Kind()))
+	}
+	return rv.Interface().(T)
+}
+
+// Committed is a double-buffered region with two-phase commit. The current
+// buffer is selected by a single persistent byte; Commit writes the staged
+// image into the non-current buffer and then flips the selector, which is a
+// one-byte (atomic) FRAM write. A power failure at any point therefore
+// leaves the last committed image intact.
+//
+// The staging buffer is volatile: it models the SRAM working copy and is
+// discarded by Reopen after a power failure.
+type Committed struct {
+	a, b  *Region
+	sel   *Region
+	stage []byte
+	size  int
+}
+
+// AllocCommitted reserves a committed region of the given payload size.
+func AllocCommitted(m *Memory, owner, name string, size int) (*Committed, error) {
+	a, err := m.Alloc(owner, name+".a", size)
+	if err != nil {
+		return nil, err
+	}
+	b, err := m.Alloc(owner, name+".b", size)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := m.Alloc(owner, name+".sel", 1)
+	if err != nil {
+		return nil, err
+	}
+	c := &Committed{a: a, b: b, sel: sel, size: size, stage: make([]byte, size)}
+	c.Reopen()
+	return c, nil
+}
+
+// MustAllocCommitted panics on allocation failure.
+func MustAllocCommitted(m *Memory, owner, name string, size int) *Committed {
+	c, err := AllocCommitted(m, owner, name, size)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the payload size in bytes.
+func (c *Committed) Size() int { return c.size }
+
+func (c *Committed) current() *Region {
+	if c.sel.ByteAt(0) == 0 {
+		return c.a
+	}
+	return c.b
+}
+
+func (c *Committed) shadow() *Region {
+	if c.sel.ByteAt(0) == 0 {
+		return c.b
+	}
+	return c.a
+}
+
+// Reopen reloads the staging buffer from the last committed image. The
+// runtime calls this on every reboot; it is what "rolling back task
+// modifications" means in the task model.
+func (c *Committed) Reopen() {
+	c.current().Read(0, c.stage)
+}
+
+// Read copies staged bytes (committed image plus any uncommitted writes).
+func (c *Committed) Read(off int, p []byte) {
+	if off < 0 || off+len(p) > c.size {
+		panic(fmt.Sprintf("nvm: committed read [%d,%d) out of size %d", off, off+len(p), c.size))
+	}
+	copy(p, c.stage[off:])
+}
+
+// Write stages bytes; they become persistent only at Commit.
+func (c *Committed) Write(off int, p []byte) {
+	if off < 0 || off+len(p) > c.size {
+		panic(fmt.Sprintf("nvm: committed write [%d,%d) out of size %d", off, off+len(p), c.size))
+	}
+	copy(c.stage[off:], p)
+}
+
+// ReadUint64 reads a staged little-endian uint64.
+func (c *Committed) ReadUint64(off int) uint64 {
+	var buf [8]byte
+	c.Read(off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteUint64 stages a little-endian uint64.
+func (c *Committed) WriteUint64(off int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	c.Write(off, buf[:])
+}
+
+// Commit atomically persists the staged image: the shadow buffer receives
+// the full image, then the selector byte flips.
+func (c *Committed) Commit() {
+	c.shadow().Write(0, c.stage)
+	if c.sel.ByteAt(0) == 0 {
+		c.sel.SetByteAt(0, 1)
+	} else {
+		c.sel.SetByteAt(0, 0)
+	}
+}

@@ -1,0 +1,225 @@
+// Package spec implements the ARTEMIS property specification language
+// (§3.2, Table 1, Figure 5): a declarative DSL in which developers state
+// properties of their intermittent application — maximum re-execution
+// counts, inter-task delays, execution duration bounds, data-collection
+// requirements, data-range dependencies, and periodicity — together with
+// the corrective action the runtime should take on violation.
+//
+// A specification is a sequence of task blocks:
+//
+//	send: {
+//	    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+//	    maxDuration: 100ms onFail: skipTask;
+//	    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+//	}
+//
+// Parse produces the AST; Validate checks structural rules; the transform
+// package lowers each property to a finite-state machine in the
+// intermediate language.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// Action is a corrective action a monitor can request from the runtime when
+// a property fails (Table 1's onFail constructs). It aliases the shared
+// action.Action so that specifications, the intermediate language, and the
+// runtime agree on one vocabulary.
+type Action = action.Action
+
+// Re-exported actions, ordered by increasing severity.
+const (
+	ActionNone         = action.None
+	ActionRestartTask  = action.RestartTask
+	ActionSkipTask     = action.SkipTask
+	ActionRestartPath  = action.RestartPath
+	ActionSkipPath     = action.SkipPath
+	ActionCompletePath = action.CompletePath
+)
+
+// ParseAction resolves an onFail action name.
+func ParseAction(s string) (Action, error) { return action.Parse(s) }
+
+// Kind identifies a property type (the Property rows of Table 1).
+type Kind int
+
+// Property kinds.
+const (
+	KindMaxTries Kind = iota + 1
+	KindMaxDuration
+	KindMITD
+	KindCollect
+	KindDpData
+	KindPeriod
+	// KindMinEnergy is the §4.2.2 extension: a minimum supply energy level
+	// required before the task may start.
+	KindMinEnergy
+)
+
+var kindNames = map[Kind]string{
+	KindMaxTries:    "maxTries",
+	KindMaxDuration: "maxDuration",
+	KindMITD:        "MITD",
+	KindCollect:     "collect",
+	KindDpData:      "dpData",
+	KindPeriod:      "period",
+	KindMinEnergy:   "minEnergy",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Range bounds a dependent data value (the Range variable of Table 1).
+type Range struct {
+	Lo, Hi float64
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%g, %g]", r.Lo, r.Hi) }
+
+// Contains reports whether v lies within the inclusive range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// Property is one parsed property of a task block.
+type Property struct {
+	Kind Kind
+	Pos  Position
+
+	// Count is the primary integer value of maxTries and collect.
+	Count int64
+	// Duration is the primary duration of MITD, maxDuration, and period.
+	Duration simclock.Duration
+	// DataVar is the monitored variable of dpData.
+	DataVar string
+	// EnergyUJ is the minimum supply level of minEnergy, in microjoules.
+	EnergyUJ float64
+
+	// DpTask names the task this property depends on (MITD, collect).
+	DpTask string
+	// OnFail is the action taken when the property fails.
+	OnFail Action
+	// MaxAttempt bounds repeated failures of time-related properties; when
+	// exhausted, MaxAttemptAction is taken instead of OnFail (Table 1).
+	MaxAttempt       int64
+	MaxAttemptAction Action
+	// Path explicitly selects the path an action applies to; needed only
+	// for tasks shared between paths (path merging, §3.2). Zero when
+	// unspecified.
+	Path int
+	// Range bounds DataVar for dpData properties.
+	Range *Range
+	// Jitter is the tolerated deviation for period properties (Table 1:
+	// periodicity "assumes a jitter").
+	Jitter simclock.Duration
+}
+
+// TaskBlock groups the properties of one task.
+type TaskBlock struct {
+	Task  string
+	Pos   Position
+	Props []Property
+}
+
+// Spec is a parsed property specification.
+type Spec struct {
+	Blocks []TaskBlock
+}
+
+// Block returns the block for the named task, or nil.
+func (s *Spec) Block(task string) *TaskBlock {
+	for i := range s.Blocks {
+		if s.Blocks[i].Task == task {
+			return &s.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// Properties returns every property in the spec paired with its task, in
+// source order.
+func (s *Spec) Properties() []TaskProperty {
+	var out []TaskProperty
+	for _, b := range s.Blocks {
+		for _, p := range b.Props {
+			out = append(out, TaskProperty{Task: b.Task, Property: p})
+		}
+	}
+	return out
+}
+
+// TaskProperty pairs a property with the task it belongs to.
+type TaskProperty struct {
+	Task     string
+	Property Property
+}
+
+// String renders the specification back in the concrete syntax; Parse of
+// the output yields an equivalent spec (round-trip tested).
+func (s *Spec) String() string {
+	var b strings.Builder
+	for i, blk := range s.Blocks {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s: {\n", blk.Task)
+		for _, p := range blk.Props {
+			b.WriteString("    ")
+			b.WriteString(p.String())
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// String renders one property in concrete syntax.
+func (p Property) String() string {
+	var b strings.Builder
+	switch p.Kind {
+	case KindMaxTries:
+		fmt.Fprintf(&b, "maxTries: %d", p.Count)
+	case KindMaxDuration:
+		fmt.Fprintf(&b, "maxDuration: %v", p.Duration)
+	case KindMITD:
+		fmt.Fprintf(&b, "MITD: %v", p.Duration)
+	case KindCollect:
+		fmt.Fprintf(&b, "collect: %d", p.Count)
+	case KindDpData:
+		fmt.Fprintf(&b, "dpData: %s", p.DataVar)
+	case KindPeriod:
+		fmt.Fprintf(&b, "period: %v", p.Duration)
+	case KindMinEnergy:
+		fmt.Fprintf(&b, "minEnergy: %guJ", p.EnergyUJ)
+	}
+	if p.DpTask != "" {
+		fmt.Fprintf(&b, " dpTask: %s", p.DpTask)
+	}
+	if p.Range != nil {
+		fmt.Fprintf(&b, " Range: %v", *p.Range)
+	}
+	if p.Jitter != 0 {
+		fmt.Fprintf(&b, " jitter: %v", p.Jitter)
+	}
+	if p.OnFail != ActionNone {
+		fmt.Fprintf(&b, " onFail: %v", p.OnFail)
+	}
+	if p.MaxAttempt != 0 {
+		fmt.Fprintf(&b, " maxAttempt: %d", p.MaxAttempt)
+		if p.MaxAttemptAction != ActionNone {
+			fmt.Fprintf(&b, " onFail: %v", p.MaxAttemptAction)
+		}
+	}
+	if p.Path != 0 {
+		fmt.Fprintf(&b, " Path: %d", p.Path)
+	}
+	b.WriteString(";")
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/spec"
+)
+
+// ExampleParse shows the Figure-5 style property syntax round-tripping
+// through the parser and printer.
+func ExampleParse() {
+	s, err := spec.Parse(`
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    maxDuration: 100ms onFail: skipTask;
+}`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, tp := range s.Properties() {
+		fmt.Printf("%s has a %v property\n", tp.Task, tp.Property.Kind)
+	}
+	// Output:
+	// send has a MITD property
+	// send has a maxDuration property
+}
+
+// ExampleValidate shows structural validation catching a property that can
+// never be checked.
+func ExampleValidate() {
+	s := spec.MustParse(`calcAvg { dpData: avgTemp onFail: completePath; }`)
+	err := spec.Validate(s, nil)
+	fmt.Println(err)
+	// Output:
+	// 1:11: dpData needs a Range
+}

@@ -1,0 +1,43 @@
+package spec
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that accepted inputs
+// round-trip through the printer. Run with `go test -fuzz=FuzzParse` for a
+// real fuzzing session; the seed corpus runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperSpec,
+		"",
+		"a { maxTries: 1 onFail: skipPath; }",
+		"a { minEnergy: 300uJ onFail: skipTask; }",
+		"a { period: 30s jitter: 2s onFail: restartTask maxAttempt: 2 onFail: skipPath; }",
+		"a { dpData: x Range: [1.5, 2.5] onFail: completePath; }",
+		"a { MITD: 5min dpTask: b onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2; }",
+		"a: { /* block */ maxTries: 1 onFail: skipPath; } // trailing",
+		"a { maxTries: 99999999999999999999 onFail: skipPath; }",
+		"{{{{",
+		"a { maxTries: -1 onFail: skipPath; }",
+		"a { collect: 1 dpTask: b onFail: restartPath Path: 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		// Accepted input must print and reparse to the same rendering.
+		printed := s.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer output does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if s2.String() != printed {
+			t.Fatalf("round trip unstable:\n%q\nvs\n%q", printed, s2.String())
+		}
+		// Structural validation must not panic either.
+		_ = Validate(s, nil)
+	})
+}

@@ -1,0 +1,166 @@
+package spec
+
+import "fmt"
+
+// Lexer turns property-specification source into tokens. It supports //
+// line comments and /* block */ comments.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.pos]
+	l.pos++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func (l *Lexer) here() Position { return Position{Line: l.line, Col: l.col} }
+
+func isLetter(ch byte) bool {
+	return ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_'
+}
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		switch ch := l.peek(); {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case ch == '/' && l.peek2() == '*':
+			open := l.here()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%v: unterminated block comment", open)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	ch := l.peek()
+	switch {
+	case isLetter(ch):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: pos}, nil
+	case isDigit(ch):
+		return l.number(pos)
+	}
+	l.advance()
+	switch ch {
+	case ':':
+		return Token{Kind: TokColon, Text: ":", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemicolon, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	}
+	return Token{}, fmt.Errorf("%v: unexpected character %q", pos, string(ch))
+}
+
+// number lexes an integer, float, or duration (integer + unit suffix, like
+// the paper's 5min / 100ms / 3s literals).
+func (l *Lexer) number(pos Position) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if isLetter(l.peek()) {
+			return Token{}, fmt.Errorf("%v: fractional durations are not supported", pos)
+		}
+		return Token{Kind: TokFloat, Text: l.src[start:l.pos], Pos: pos}, nil
+	}
+	if isLetter(l.peek()) {
+		for l.pos < len(l.src) && isLetter(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokDuration, Text: l.src[start:l.pos], Pos: pos}, nil
+	}
+	return Token{Kind: TokInt, Text: l.src[start:l.pos], Pos: pos}, nil
+}
+
+// Tokens lexes the whole input; convenient for tests.
+func Tokens(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

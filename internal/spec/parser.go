@@ -1,0 +1,325 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// Parse parses a property specification.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	s := &Spec{}
+	for p.tok.Kind != TokEOF {
+		blk, err := p.taskBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Blocks = append(s.Blocks, blk)
+	}
+	return s, nil
+}
+
+// MustParse panics on error; for specifications embedded in programs, where
+// a parse failure is a build bug.
+func MustParse(src string) *Spec {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	lex *Lexer
+	tok Token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, fmt.Errorf("%v: expected %v, found %v", p.tok.Pos, k, p.tok)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *parser) accept(k TokenKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.next()
+}
+
+// taskBlock := IDENT ':'? '{' property* '}'
+// The optional colon matches the paper's mixed usage ("send: {" in Figure 5
+// line 5 versus "calcAvg {" in line 12).
+func (p *parser) taskBlock() (TaskBlock, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return TaskBlock{}, fmt.Errorf("at task block: %w", err)
+	}
+	if _, err := p.accept(TokColon); err != nil {
+		return TaskBlock{}, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return TaskBlock{}, err
+	}
+	blk := TaskBlock{Task: name.Text, Pos: name.Pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return TaskBlock{}, fmt.Errorf("%v: unterminated block for task %q", name.Pos, name.Text)
+		}
+		prop, err := p.property()
+		if err != nil {
+			return TaskBlock{}, err
+		}
+		blk.Props = append(blk.Props, prop)
+	}
+	if err := p.next(); err != nil { // consume '}'
+		return TaskBlock{}, err
+	}
+	return blk, nil
+}
+
+// property := kind ':' primaryValue clause* ';'
+func (p *parser) property() (Property, error) {
+	key, err := p.expect(TokIdent)
+	if err != nil {
+		return Property{}, fmt.Errorf("at property: %w", err)
+	}
+	prop := Property{Pos: key.Pos}
+	if _, err := p.expect(TokColon); err != nil {
+		return Property{}, err
+	}
+	switch key.Text {
+	case "maxTries":
+		prop.Kind = KindMaxTries
+		prop.Count, err = p.intValue()
+	case "collect":
+		prop.Kind = KindCollect
+		prop.Count, err = p.intValue()
+	case "maxDuration":
+		prop.Kind = KindMaxDuration
+		prop.Duration, err = p.durationValue()
+	case "MITD":
+		prop.Kind = KindMITD
+		prop.Duration, err = p.durationValue()
+	case "period":
+		prop.Kind = KindPeriod
+		prop.Duration, err = p.durationValue()
+	case "dpData":
+		prop.Kind = KindDpData
+		var t Token
+		t, err = p.expect(TokIdent)
+		prop.DataVar = t.Text
+	case "minEnergy":
+		prop.Kind = KindMinEnergy
+		prop.EnergyUJ, err = p.energyValue()
+	default:
+		return Property{}, fmt.Errorf("%v: unknown property %q (want maxTries, maxDuration, MITD, collect, dpData, period, or minEnergy)", key.Pos, key.Text)
+	}
+	if err != nil {
+		return Property{}, err
+	}
+	if err := p.clauses(&prop); err != nil {
+		return Property{}, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return Property{}, fmt.Errorf("after %v property: %w", prop.Kind, err)
+	}
+	return prop, nil
+}
+
+// clauses parses the qualifier list of a property. An onFail following a
+// maxAttempt binds to the maxAttempt (Figure 5 line 6: "... onFail:
+// restartPath maxAttempt: 3 onFail: skipPath ...").
+func (p *parser) clauses(prop *Property) error {
+	sawMaxAttempt := false
+	for p.tok.Kind == TokIdent {
+		key := p.tok
+		if err := p.next(); err != nil {
+			return err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return fmt.Errorf("after clause %q: %w", key.Text, err)
+		}
+		switch key.Text {
+		case "dpTask":
+			if prop.DpTask != "" {
+				return fmt.Errorf("%v: duplicate dpTask", key.Pos)
+			}
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			prop.DpTask = t.Text
+		case "onFail":
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			act, err := ParseAction(t.Text)
+			if err != nil {
+				return fmt.Errorf("%v: %w", t.Pos, err)
+			}
+			switch {
+			case sawMaxAttempt && prop.MaxAttemptAction == ActionNone:
+				prop.MaxAttemptAction = act
+			case prop.OnFail == ActionNone:
+				prop.OnFail = act
+			default:
+				return fmt.Errorf("%v: too many onFail clauses", key.Pos)
+			}
+		case "maxAttempt":
+			if sawMaxAttempt {
+				return fmt.Errorf("%v: duplicate maxAttempt", key.Pos)
+			}
+			sawMaxAttempt = true
+			n, err := p.intValue()
+			if err != nil {
+				return err
+			}
+			prop.MaxAttempt = n
+		case "Path":
+			if prop.Path != 0 {
+				return fmt.Errorf("%v: duplicate Path", key.Pos)
+			}
+			n, err := p.intValue()
+			if err != nil {
+				return err
+			}
+			prop.Path = int(n)
+		case "Range":
+			if prop.Range != nil {
+				return fmt.Errorf("%v: duplicate Range", key.Pos)
+			}
+			r, err := p.rangeValue()
+			if err != nil {
+				return err
+			}
+			prop.Range = &r
+		case "jitter":
+			if prop.Jitter != 0 {
+				return fmt.Errorf("%v: duplicate jitter", key.Pos)
+			}
+			d, err := p.durationValue()
+			if err != nil {
+				return err
+			}
+			prop.Jitter = d
+		default:
+			return fmt.Errorf("%v: unknown clause %q (want dpTask, onFail, maxAttempt, Path, Range, or jitter)", key.Pos, key.Text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) intValue() (int64, error) {
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%v: bad integer %q: %w", t.Pos, t.Text, err)
+	}
+	return n, nil
+}
+
+func (p *parser) durationValue() (simclock.Duration, error) {
+	t := p.tok
+	if t.Kind != TokDuration {
+		return 0, fmt.Errorf("%v: expected duration like 5min or 100ms, found %v", t.Pos, t)
+	}
+	if err := p.next(); err != nil {
+		return 0, err
+	}
+	d, err := simclock.ParseDuration(t.Text)
+	if err != nil {
+		return 0, fmt.Errorf("%v: %w", t.Pos, err)
+	}
+	return d, nil
+}
+
+// energyValue parses an energy literal: an integer immediately followed by
+// uJ, mJ, or J (lexed as a duration-shaped token), e.g. "minEnergy: 300uJ".
+// The value is normalised to microjoules.
+func (p *parser) energyValue() (float64, error) {
+	t := p.tok
+	if t.Kind != TokDuration {
+		return 0, fmt.Errorf("%v: expected energy like 300uJ or 2mJ, found %v", t.Pos, t)
+	}
+	if err := p.next(); err != nil {
+		return 0, err
+	}
+	i := 0
+	for i < len(t.Text) && t.Text[i] >= '0' && t.Text[i] <= '9' {
+		i++
+	}
+	var n float64
+	for _, ch := range t.Text[:i] {
+		n = n*10 + float64(ch-'0')
+	}
+	switch t.Text[i:] {
+	case "uJ", "uj":
+		return n, nil
+	case "mJ", "mj":
+		return n * 1e3, nil
+	case "J", "j":
+		return n * 1e6, nil
+	}
+	return 0, fmt.Errorf("%v: unknown energy unit %q in %q (want uJ, mJ, or J)", t.Pos, t.Text[i:], t.Text)
+}
+
+// rangeValue := '[' num ',' num ']'
+func (p *parser) rangeValue() (Range, error) {
+	if _, err := p.expect(TokLBracket); err != nil {
+		return Range{}, err
+	}
+	lo, err := p.floatValue()
+	if err != nil {
+		return Range{}, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return Range{}, err
+	}
+	hi, err := p.floatValue()
+	if err != nil {
+		return Range{}, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return Range{}, err
+	}
+	if lo > hi {
+		return Range{}, fmt.Errorf("empty range [%g, %g]", lo, hi)
+	}
+	return Range{Lo: lo, Hi: hi}, nil
+}
+
+func (p *parser) floatValue() (float64, error) {
+	t := p.tok
+	if t.Kind != TokInt && t.Kind != TokFloat {
+		return 0, fmt.Errorf("%v: expected number, found %v", t.Pos, t)
+	}
+	if err := p.next(); err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%v: bad number %q: %w", t.Pos, t.Text, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,404 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// paperSpec is the full specification of Figure 5.
+const paperSpec = `
+micSense: {
+    maxTries: 10 onFail: skipPath;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    maxDuration: 100ms onFail: skipTask;
+    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath;
+}
+`
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Tokens("send: { MITD: 5min; } // c\n/* block */ x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	want := []TokenKind{TokIdent, TokColon, TokLBrace, TokIdent, TokColon,
+		TokDuration, TokSemicolon, TokRBrace, TokIdent, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), toks, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Tokens("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Position{1, 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Position{2, 3}) {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := Tokens("10 36.5 100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Text != "10" {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != TokFloat || toks[1].Text != "36.5" {
+		t.Errorf("tok1 = %v", toks[1])
+	}
+	if toks[2].Kind != TokDuration || toks[2].Text != "100ms" {
+		t.Errorf("tok2 = %v", toks[2])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "3.5ms"} {
+		if _, err := Tokens(src); err == nil {
+			t.Errorf("Tokens(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParsePaperSpec(t *testing.T) {
+	s, err := Parse(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(s.Blocks))
+	}
+
+	send := s.Block("send")
+	if send == nil {
+		t.Fatal("no send block")
+	}
+	if len(send.Props) != 4 {
+		t.Fatalf("send props = %d, want 4", len(send.Props))
+	}
+	mitd := send.Props[0]
+	if mitd.Kind != KindMITD || mitd.Duration != 5*simclock.Minute ||
+		mitd.DpTask != "accel" || mitd.OnFail != ActionRestartPath ||
+		mitd.MaxAttempt != 3 || mitd.MaxAttemptAction != ActionSkipPath || mitd.Path != 2 {
+		t.Fatalf("MITD parsed wrong: %+v", mitd)
+	}
+	dur := send.Props[1]
+	if dur.Kind != KindMaxDuration || dur.Duration != 100*simclock.Millisecond || dur.OnFail != ActionSkipTask {
+		t.Fatalf("maxDuration parsed wrong: %+v", dur)
+	}
+	col := send.Props[2]
+	if col.Kind != KindCollect || col.Count != 1 || col.DpTask != "accel" || col.Path != 2 {
+		t.Fatalf("collect parsed wrong: %+v", col)
+	}
+
+	avg := s.Block("calcAvg")
+	if avg == nil {
+		t.Fatal("no calcAvg block")
+	}
+	dp := avg.Props[1]
+	if dp.Kind != KindDpData || dp.DataVar != "avgTemp" || dp.Range == nil ||
+		dp.Range.Lo != 36 || dp.Range.Hi != 38 || dp.OnFail != ActionCompletePath {
+		t.Fatalf("dpData parsed wrong: %+v", dp)
+	}
+
+	mic := s.Block("micSense")
+	if mic.Props[0].Kind != KindMaxTries || mic.Props[0].Count != 10 ||
+		mic.Props[0].OnFail != ActionSkipPath {
+		t.Fatalf("maxTries parsed wrong: %+v", mic.Props[0])
+	}
+
+	if got := len(s.Properties()); got != 8 {
+		t.Fatalf("Properties() = %d, want 8", got)
+	}
+	if s.Block("nope") != nil {
+		t.Fatal("Block for unknown task non-nil")
+	}
+}
+
+func TestParsePeriodWithJitter(t *testing.T) {
+	s, err := Parse(`sample { period: 30s jitter: 2s onFail: restartTask; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Blocks[0].Props[0]
+	if p.Kind != KindPeriod || p.Duration != 30*simclock.Second || p.Jitter != 2*simclock.Second {
+		t.Fatalf("period parsed wrong: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unterminated block", "a { maxTries: 3 onFail: skipPath;"},
+		{"missing semicolon", "a { maxTries: 3 onFail: skipPath }"},
+		{"unknown property", "a { frobnicate: 3 onFail: skipPath; }"},
+		{"unknown clause", "a { maxTries: 3 wibble: 4; }"},
+		{"unknown action", "a { maxTries: 3 onFail: explode; }"},
+		{"int where duration", "a { MITD: 5 dpTask: b onFail: skipPath; }"},
+		{"duration where int", "a { maxTries: 5s onFail: skipPath; }"},
+		{"too many onFail", "a { maxTries: 3 onFail: skipPath onFail: skipTask; }"},
+		{"duplicate dpTask", "a { collect: 1 dpTask: b dpTask: c onFail: skipPath; }"},
+		{"duplicate maxAttempt", "a { MITD: 5min dpTask: b onFail: skipPath maxAttempt: 2 onFail: skipPath maxAttempt: 3; }"},
+		{"duplicate Path", "a { collect: 1 dpTask: b onFail: skipPath Path: 1 Path: 2; }"},
+		{"duplicate Range", "a { dpData: x Range: [1,2] Range: [3,4] onFail: skipPath; }"},
+		{"empty range", "a { dpData: x Range: [5, 2] onFail: skipPath; }"},
+		{"range missing comma", "a { dpData: x Range: [5 2] onFail: skipPath; }"},
+		{"block without name", "{ maxTries: 3 onFail: skipPath; }"},
+		{"garbage", "$$$"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: parse succeeded", tc.name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("!!!")
+}
+
+func TestRoundTrip(t *testing.T) {
+	s1, err := Parse(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := s1.String()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", s1.String(), printed)
+	}
+}
+
+// Property: any structurally valid generated spec round-trips through
+// print→parse→print.
+func TestRoundTripProperty(t *testing.T) {
+	kinds := []Kind{KindMaxTries, KindMaxDuration, KindMITD, KindCollect, KindDpData, KindPeriod}
+	actions := []Action{ActionRestartTask, ActionSkipTask, ActionRestartPath, ActionSkipPath, ActionCompletePath}
+	f := func(kindSel, actSel []uint8, counts []uint8) bool {
+		n := len(kindSel)
+		if n == 0 || n > 6 {
+			return true
+		}
+		s := &Spec{Blocks: []TaskBlock{{Task: "t"}}}
+		for i, ks := range kindSel {
+			k := kinds[int(ks)%len(kinds)]
+			p := Property{Kind: k, OnFail: actions[pick(actSel, i)%len(actions)]}
+			c := int64(pick(counts, i)%20) + 1
+			switch k {
+			case KindMaxTries, KindCollect:
+				p.Count = c
+			case KindMaxDuration, KindMITD, KindPeriod:
+				p.Duration = simclock.Duration(c) * simclock.Second
+			case KindDpData:
+				p.DataVar = "v"
+				p.Range = &Range{Lo: float64(c), Hi: float64(c) + 1}
+			}
+			if k == KindCollect || k == KindMITD {
+				p.DpTask = "dep"
+			}
+			if k == KindMITD && c%2 == 0 {
+				p.MaxAttempt = c
+				p.MaxAttemptAction = ActionSkipPath
+			}
+			s.Blocks[0].Props = append(s.Blocks[0].Props, p)
+		}
+		out1 := s.String()
+		s2, err := Parse(out1)
+		if err != nil {
+			return false
+		}
+		return s2.String() == out1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pick(xs []uint8, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return int(xs[i%len(xs)])
+}
+
+// fakeGraph implements GraphInfo for validation tests.
+type fakeGraph struct {
+	tasks map[string][]int // task -> path IDs
+	paths map[int]bool
+	data  map[string]bool
+}
+
+func (g fakeGraph) HasTask(name string) bool { _, ok := g.tasks[name]; return ok }
+func (g fakeGraph) HasPath(id int) bool      { return g.paths[id] }
+func (g fakeGraph) TaskPaths(n string) []int { return g.tasks[n] }
+func (g fakeGraph) HasData(name string) bool { return g.data[name] }
+
+func healthGraph() fakeGraph {
+	return fakeGraph{
+		tasks: map[string][]int{
+			"bodyTemp": {1}, "calcAvg": {1}, "heartRate": {1},
+			"accel": {2}, "filter": {2}, "classify": {2},
+			"micSense": {3},
+			"send":     {1, 2, 3},
+		},
+		paths: map[int]bool{1: true, 2: true, 3: true},
+		data:  map[string]bool{"avgTemp": true},
+	}
+}
+
+func TestValidatePaperSpecAgainstGraph(t *testing.T) {
+	s := MustParse(paperSpec)
+	if err := Validate(s, healthGraph()); err != nil {
+		t.Fatalf("paper spec invalid: %v", err)
+	}
+}
+
+func TestValidateStructuralOnly(t *testing.T) {
+	s := MustParse(paperSpec)
+	if err := Validate(s, nil); err != nil {
+		t.Fatalf("structural validation failed: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing onFail", "bodyTemp { maxTries: 3; }"},
+		{"zero maxTries", "bodyTemp { maxTries: 0 onFail: skipPath; }"},
+		{"MITD without dpTask", "send { MITD: 5min onFail: skipPath Path: 2; }"},
+		{"collect without dpTask", "send { collect: 5 onFail: skipPath Path: 2; }"},
+		{"dpData without range", "calcAvg { dpData: avgTemp onFail: completePath; }"},
+		{"dpData with dpTask", "calcAvg { dpData: avgTemp Range: [1,2] dpTask: accel onFail: completePath; }"},
+		{"maxTries with dpTask", "bodyTemp { maxTries: 3 dpTask: accel onFail: skipPath; }"},
+		{"maxAttempt on maxTries", "bodyTemp { maxTries: 3 onFail: skipPath maxAttempt: 2 onFail: skipPath; }"},
+		{"maxAttempt without action", "send { MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 2 Path: 2; }"},
+		{"range on collect", "calcAvg { collect: 1 dpTask: bodyTemp Range: [1,2] onFail: restartPath; }"},
+		{"jitter on maxTries", "bodyTemp { maxTries: 3 jitter: 5s onFail: skipPath; }"},
+		{"unknown task", "warpCore { maxTries: 3 onFail: skipPath; }"},
+		{"unknown dpTask", "calcAvg { collect: 1 dpTask: warpCore onFail: restartPath; }"},
+		{"unknown path", "send { collect: 1 dpTask: accel onFail: restartPath Path: 99; }"},
+		{"unknown data var", "calcAvg { dpData: warpLevel Range: [1,2] onFail: completePath; }"},
+		{"merged task needs Path", "send { collect: 1 dpTask: accel onFail: restartPath; }"},
+		{"duplicate block", "accel { maxTries: 3 onFail: skipPath; } accel { maxTries: 4 onFail: skipPath; }"},
+		{"empty block", "accel { }"},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", tc.name, err)
+			continue
+		}
+		if err := Validate(s, healthGraph()); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestValidateReportsAllErrors(t *testing.T) {
+	s := MustParse("a { maxTries: 0 onFail: skipPath; } b { maxDuration: 1s; }")
+	err := Validate(s, nil)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "maxTries") || !strings.Contains(msg, "onFail") {
+		t.Fatalf("error does not mention both problems: %v", msg)
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Lo: 36, Hi: 38}
+	for v, want := range map[float64]bool{35.9: false, 36: true, 37: true, 38: true, 38.1: false} {
+		if r.Contains(v) != want {
+			t.Errorf("Contains(%g) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestParseMinEnergy(t *testing.T) {
+	s, err := Parse(`accel { minEnergy: 450uJ onFail: skipTask; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Blocks[0].Props[0]
+	if p.Kind != KindMinEnergy || p.EnergyUJ != 450 || p.OnFail != ActionSkipTask {
+		t.Fatalf("minEnergy parsed wrong: %+v", p)
+	}
+	for in, uj := range map[string]float64{"2mJ": 2000, "1J": 1e6, "7uj": 7} {
+		s, err := Parse("a { minEnergy: " + in + " onFail: skipTask; }")
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if got := s.Blocks[0].Props[0].EnergyUJ; got != uj {
+			t.Errorf("%s = %g µJ, want %g", in, got, uj)
+		}
+	}
+}
+
+func TestParseMinEnergyErrors(t *testing.T) {
+	cases := []string{
+		`a { minEnergy: 450 onFail: skipTask; }`,    // bare number
+		`a { minEnergy: 450kWh onFail: skipTask; }`, // unknown unit
+		`a { minEnergy: fast onFail: skipTask; }`,   // not a number
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: parse succeeded", src)
+		}
+	}
+}
+
+func TestValidateMinEnergy(t *testing.T) {
+	// Structural round trip and rules.
+	s := MustParse(`accel { minEnergy: 450uJ onFail: skipTask; }`)
+	if err := Validate(s, healthGraph()); err != nil {
+		t.Fatalf("valid minEnergy rejected: %v", err)
+	}
+	bad := MustParse(`accel { minEnergy: 450uJ dpTask: send onFail: skipTask; }`)
+	if err := Validate(bad, healthGraph()); err == nil {
+		t.Error("minEnergy with dpTask accepted")
+	}
+	printed := s.String()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("minEnergy did not round-trip: %v\n%s", err, printed)
+	}
+	if s2.Blocks[0].Props[0].EnergyUJ != 450 {
+		t.Fatalf("round trip lost value: %+v", s2.Blocks[0].Props[0])
+	}
+}

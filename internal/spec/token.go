@@ -1,0 +1,76 @@
+package spec
+
+import "fmt"
+
+// TokenKind classifies lexical tokens of the property specification
+// language.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokDuration // integer immediately followed by a unit, e.g. 5min, 100ms
+	TokColon
+	TokSemicolon
+	TokComma
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "number"
+	case TokDuration:
+		return "duration"
+	case TokColon:
+		return "':'"
+	case TokSemicolon:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Position locates a token in the source text.
+type Position struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Position
+}
+
+func (t Token) String() string {
+	if t.Text == "" {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}

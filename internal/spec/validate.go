@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GraphInfo is what Validate needs to know about the application's task
+// graph to cross-check a specification. The task package's Graph satisfies
+// it; tests can use small fakes.
+type GraphInfo interface {
+	// HasTask reports whether a task with the name exists.
+	HasTask(name string) bool
+	// HasPath reports whether a path with the ID exists.
+	HasPath(id int) bool
+	// TaskPaths returns the path IDs containing the named task, in
+	// execution order.
+	TaskPaths(name string) []int
+	// HasData reports whether a monitored data variable exists (a store
+	// slot declared by the application).
+	HasData(name string) bool
+}
+
+// Validate checks structural language rules and, when info is non-nil,
+// cross-checks task, path, and data-variable references against the
+// application graph. All violations are reported, joined into one error.
+func Validate(s *Spec, info GraphInfo) error {
+	var errs []error
+	fail := func(pos Position, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%v: %s", pos, fmt.Sprintf(format, args...)))
+	}
+	seenBlock := map[string]bool{}
+	for _, blk := range s.Blocks {
+		if seenBlock[blk.Task] {
+			fail(blk.Pos, "duplicate block for task %q", blk.Task)
+		}
+		seenBlock[blk.Task] = true
+		if info != nil && !info.HasTask(blk.Task) {
+			fail(blk.Pos, "unknown task %q", blk.Task)
+		}
+		if len(blk.Props) == 0 {
+			fail(blk.Pos, "task %q has no properties", blk.Task)
+		}
+		for _, p := range blk.Props {
+			validateProperty(blk.Task, p, info, fail)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func validateProperty(taskName string, p Property, info GraphInfo, fail func(Position, string, ...any)) {
+	if p.OnFail == ActionNone {
+		fail(p.Pos, "%v property of %q needs an onFail action", p.Kind, taskName)
+	}
+	switch p.Kind {
+	case KindMaxTries:
+		if p.Count <= 0 {
+			fail(p.Pos, "maxTries must be positive, got %d", p.Count)
+		}
+		if p.DpTask != "" {
+			fail(p.Pos, "maxTries does not take dpTask")
+		}
+	case KindMaxDuration:
+		if p.Duration <= 0 {
+			fail(p.Pos, "maxDuration must be positive, got %v", p.Duration)
+		}
+		if p.DpTask != "" {
+			fail(p.Pos, "maxDuration does not take dpTask")
+		}
+	case KindMITD:
+		if p.Duration <= 0 {
+			fail(p.Pos, "MITD must be positive, got %v", p.Duration)
+		}
+		if p.DpTask == "" {
+			fail(p.Pos, "MITD needs dpTask: the task the data comes from")
+		}
+	case KindCollect:
+		if p.Count <= 0 {
+			fail(p.Pos, "collect must be positive, got %d", p.Count)
+		}
+		if p.DpTask == "" {
+			fail(p.Pos, "collect needs dpTask: the task the data comes from")
+		}
+	case KindDpData:
+		if p.DataVar == "" {
+			fail(p.Pos, "dpData needs a data variable")
+		}
+		if p.Range == nil {
+			fail(p.Pos, "dpData needs a Range")
+		}
+		if p.DpTask != "" {
+			fail(p.Pos, "dpData does not take dpTask (the dependency is on data, not a task)")
+		}
+		if info != nil && p.DataVar != "" && !info.HasData(p.DataVar) {
+			fail(p.Pos, "unknown data variable %q", p.DataVar)
+		}
+	case KindPeriod:
+		if p.Duration <= 0 {
+			fail(p.Pos, "period must be positive, got %v", p.Duration)
+		}
+	case KindMinEnergy:
+		if p.EnergyUJ <= 0 {
+			fail(p.Pos, "minEnergy must be positive, got %g", p.EnergyUJ)
+		}
+		if p.DpTask != "" {
+			fail(p.Pos, "minEnergy does not take dpTask")
+		}
+	default:
+		fail(p.Pos, "unknown property kind %v", p.Kind)
+	}
+
+	// maxAttempt accompanies time-related properties only (Table 1).
+	if p.MaxAttempt != 0 {
+		if p.Kind != KindMITD && p.Kind != KindPeriod {
+			fail(p.Pos, "maxAttempt applies only to MITD and period, not %v", p.Kind)
+		}
+		if p.MaxAttempt < 0 {
+			fail(p.Pos, "maxAttempt must be positive, got %d", p.MaxAttempt)
+		}
+		if p.MaxAttemptAction == ActionNone {
+			fail(p.Pos, "maxAttempt needs its own onFail action")
+		}
+	} else if p.MaxAttemptAction != ActionNone {
+		fail(p.Pos, "onFail for maxAttempt given without maxAttempt")
+	}
+	if p.Range != nil && p.Kind != KindDpData {
+		fail(p.Pos, "Range applies only to dpData, not %v", p.Kind)
+	}
+	if p.Jitter != 0 && p.Kind != KindPeriod {
+		fail(p.Pos, "jitter applies only to period, not %v", p.Kind)
+	}
+	if p.Jitter < 0 {
+		fail(p.Pos, "jitter must be non-negative, got %v", p.Jitter)
+	}
+
+	if info == nil {
+		return
+	}
+	if p.DpTask != "" && !info.HasTask(p.DpTask) {
+		fail(p.Pos, "unknown dpTask %q", p.DpTask)
+	}
+	if p.Path != 0 && !info.HasPath(p.Path) {
+		fail(p.Pos, "unknown Path %d", p.Path)
+	}
+	// Path disambiguation rule (§3.2): a path-level action on a task shared
+	// between several paths needs an explicit Path.
+	if p.Path == 0 && actsOnPath(p) && info.HasTask(taskName) {
+		if ids := info.TaskPaths(taskName); len(ids) > 1 {
+			fail(p.Pos, "task %q appears in paths %v; %v with a path action needs an explicit Path", taskName, ids, p.Kind)
+		}
+	}
+}
+
+// actsOnPath reports whether the property requests a static path-level
+// action. completePath is exempt: it always applies to the currently
+// executing path, so it never needs disambiguation.
+func actsOnPath(p Property) bool {
+	return isPathAction(p.OnFail) || isPathAction(p.MaxAttemptAction)
+}
+
+func isPathAction(a Action) bool {
+	switch a {
+	case ActionRestartPath, ActionSkipPath:
+		return true
+	}
+	return false
+}

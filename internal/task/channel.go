@@ -1,0 +1,120 @@
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tinysystems/artemis-go/internal/nvm"
+)
+
+// Channel is a Chain-style persistent FIFO between a producer task and a
+// consumer task (Colin & Lucia, OOPSLA'16): the primitive task-based
+// intermittent systems use to move data across task boundaries without
+// exposing partially-written state to power failures.
+//
+// Like the Store, a channel stages its mutations in volatile memory and
+// persists them with one atomic commit at the owning task's boundary; the
+// runtime's Store commit/rollback protocol applies unchanged (callers
+// commit a channel in the same places they commit the store). A crash
+// between operations re-executes the interrupted task against the channel's
+// last committed image, preserving exactly-once queue semantics under
+// idempotent task re-execution.
+type Channel struct {
+	c   *nvm.Committed
+	cap int
+}
+
+// Committed-region layout, in 8-byte words: head, count, then cap slots.
+const (
+	chWordHead  = 0
+	chWordCount = 1
+	chWordSlots = 2
+)
+
+// NewChannel allocates a channel with space for capacity float64 items.
+func NewChannel(mem *nvm.Memory, owner, name string, capacity int) (*Channel, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("task: channel %s/%s capacity must be positive, got %d", owner, name, capacity)
+	}
+	c, err := nvm.AllocCommitted(mem, owner, "chan."+name, (chWordSlots+capacity)*8)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{c: c, cap: capacity}, nil
+}
+
+func (ch *Channel) word(i int) uint64       { return ch.c.ReadUint64(i * 8) }
+func (ch *Channel) setWord(i int, v uint64) { ch.c.WriteUint64(i*8, v) }
+
+// Cap returns the channel capacity.
+func (ch *Channel) Cap() int { return ch.cap }
+
+// Len returns the number of staged items (committed plus uncommitted
+// mutations).
+func (ch *Channel) Len() int { return int(ch.word(chWordCount)) }
+
+// Push stages an item at the tail. It reports false when the channel is
+// full; intermittent applications typically size channels for their collect
+// counts and treat overflow as data to drop (oldest-first sensing keeps the
+// freshest reading — use PushEvict for that policy).
+func (ch *Channel) Push(v float64) bool {
+	count := ch.Len()
+	if count >= ch.cap {
+		return false
+	}
+	head := int(ch.word(chWordHead))
+	slot := (head + count) % ch.cap
+	ch.setWord(chWordSlots+slot, math.Float64bits(v))
+	ch.setWord(chWordCount, uint64(count+1))
+	return true
+}
+
+// PushEvict stages an item, evicting the oldest when full — the rolling
+// window most sensing pipelines want.
+func (ch *Channel) PushEvict(v float64) {
+	if ch.Push(v) {
+		return
+	}
+	ch.Pop()
+	ch.Push(v)
+}
+
+// Pop stages removal of the oldest item; ok is false on an empty channel.
+func (ch *Channel) Pop() (v float64, ok bool) {
+	count := ch.Len()
+	if count == 0 {
+		return 0, false
+	}
+	head := int(ch.word(chWordHead))
+	v = math.Float64frombits(ch.word(chWordSlots + head))
+	ch.setWord(chWordHead, uint64((head+1)%ch.cap))
+	ch.setWord(chWordCount, uint64(count-1))
+	return v, true
+}
+
+// Peek reads the oldest item without removing it.
+func (ch *Channel) Peek() (v float64, ok bool) {
+	if ch.Len() == 0 {
+		return 0, false
+	}
+	head := int(ch.word(chWordHead))
+	return math.Float64frombits(ch.word(chWordSlots + head)), true
+}
+
+// Items returns the staged contents oldest-first; for averaging windows.
+func (ch *Channel) Items() []float64 {
+	count := ch.Len()
+	head := int(ch.word(chWordHead))
+	out := make([]float64, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, math.Float64frombits(ch.word(chWordSlots+(head+i)%ch.cap)))
+	}
+	return out
+}
+
+// Commit atomically persists all staged mutations (task boundary).
+func (ch *Channel) Commit() { ch.c.Commit() }
+
+// Rollback discards staged mutations, restoring the last committed image
+// (reboot).
+func (ch *Channel) Rollback() { ch.c.Reopen() }

@@ -1,0 +1,168 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tinysystems/artemis-go/internal/nvm"
+)
+
+func newChannel(t *testing.T, capacity int) *Channel {
+	t.Helper()
+	ch, err := NewChannel(nvm.New(4096), "app", "a->b", capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestChannelValidation(t *testing.T) {
+	if _, err := NewChannel(nvm.New(64), "app", "x", 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewChannel(nvm.New(64), "app", "x", -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestChannelFIFO(t *testing.T) {
+	ch := newChannel(t, 4)
+	for i := 1; i <= 3; i++ {
+		if !ch.Push(float64(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if ch.Len() != 3 || ch.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", ch.Len(), ch.Cap())
+	}
+	if v, ok := ch.Peek(); !ok || v != 1 {
+		t.Fatalf("peek = %g, %v", v, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := ch.Pop()
+		if !ok || v != float64(i) {
+			t.Fatalf("pop %d = %g, %v", i, v, ok)
+		}
+	}
+	if _, ok := ch.Pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if _, ok := ch.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+}
+
+func TestChannelFullAndEvict(t *testing.T) {
+	ch := newChannel(t, 2)
+	ch.Push(1)
+	ch.Push(2)
+	if ch.Push(3) {
+		t.Fatal("push into full channel succeeded")
+	}
+	ch.PushEvict(3) // evicts 1
+	items := ch.Items()
+	if len(items) != 2 || items[0] != 2 || items[1] != 3 {
+		t.Fatalf("items = %v, want [2 3]", items)
+	}
+}
+
+func TestChannelWrapAround(t *testing.T) {
+	ch := newChannel(t, 3)
+	for round := 0; round < 10; round++ {
+		ch.Push(float64(round))
+		v, ok := ch.Pop()
+		if !ok || v != float64(round) {
+			t.Fatalf("round %d: pop = %g, %v", round, v, ok)
+		}
+	}
+}
+
+func TestChannelCommitRollback(t *testing.T) {
+	ch := newChannel(t, 4)
+	ch.Push(1)
+	ch.Push(2)
+	ch.Commit()
+	ch.Push(3)
+	ch.Pop()
+	ch.Rollback() // crash before the task boundary
+	items := ch.Items()
+	if len(items) != 2 || items[0] != 1 || items[1] != 2 {
+		t.Fatalf("rollback lost committed image: %v", items)
+	}
+	ch.Pop()
+	ch.Commit()
+	ch.Rollback()
+	if items := ch.Items(); len(items) != 1 || items[0] != 2 {
+		t.Fatalf("commit lost: %v", items)
+	}
+}
+
+// Property: the channel behaves exactly like a bounded FIFO model under any
+// operation sequence, including commit/rollback pairs.
+func TestChannelModelProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8 // 0 push, 1 pop, 2 evict-push, 3 commit, 4 rollback
+		Value float64
+	}
+	f := func(ops []op) bool {
+		const capN = 5
+		ch, err := NewChannel(nvm.New(8192), "app", "m", capN)
+		if err != nil {
+			return false
+		}
+		var staged, committed []float64
+		clone := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			copy(out, xs)
+			return out
+		}
+		for _, o := range ops {
+			switch o.Kind % 5 {
+			case 0:
+				got := ch.Push(o.Value)
+				if want := len(staged) < capN; got != want {
+					return false
+				}
+				if got {
+					staged = append(staged, o.Value)
+				}
+			case 1:
+				v, ok := ch.Pop()
+				if want := len(staged) > 0; ok != want {
+					return false
+				}
+				if ok {
+					if v != staged[0] {
+						return false
+					}
+					staged = staged[1:]
+				}
+			case 2:
+				ch.PushEvict(o.Value)
+				if len(staged) >= capN {
+					staged = staged[1:]
+				}
+				staged = append(staged, o.Value)
+			case 3:
+				ch.Commit()
+				committed = clone(staged)
+			case 4:
+				ch.Rollback()
+				staged = clone(committed)
+			}
+			if ch.Len() != len(staged) {
+				return false
+			}
+			items := ch.Items()
+			for i := range staged {
+				if items[i] != staged[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace provides the textual reporting primitives the experiment
+// harness uses to print the paper's tables and figures: aligned tables,
+// labelled series (figures rendered as rows of points), and timelines.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns one cell ("" when out of range).
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.Headers) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row;
+// fields containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString("\"")
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteString("\"")
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteString("\n")
+}
+
+// Timeline is an ordered list of timestamped annotations — the Figure-13
+// rendering of a run's decisions.
+type Timeline struct {
+	Title  string
+	events []TimelineEvent
+}
+
+// TimelineEvent is one annotation.
+type TimelineEvent struct {
+	At   simclock.Time
+	What string
+}
+
+// NewTimeline creates a timeline.
+func NewTimeline(title string) *Timeline { return &Timeline{Title: title} }
+
+// Add appends an annotation.
+func (tl *Timeline) Add(at simclock.Time, format string, args ...any) {
+	tl.events = append(tl.events, TimelineEvent{At: at, What: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the annotations in insertion order.
+func (tl *Timeline) Events() []TimelineEvent {
+	out := make([]TimelineEvent, len(tl.events))
+	copy(out, tl.events)
+	return out
+}
+
+// Render draws the timeline.
+func (tl *Timeline) Render() string {
+	var b strings.Builder
+	if tl.Title != "" {
+		b.WriteString(tl.Title)
+		b.WriteString("\n")
+	}
+	for _, e := range tl.events {
+		fmt.Fprintf(&b, "  t=%-10s %s\n", FormatDuration(simclock.Duration(e.At)), e.What)
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration in seconds with sensible precision.
+func FormatDuration(d simclock.Duration) string {
+	switch {
+	case d >= simclock.Minute:
+		return fmt.Sprintf("%.1f min", d.Minutes())
+	case d >= simclock.Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	default:
+		return fmt.Sprintf("%.2f ms", d.Milliseconds())
+	}
+}
+
+// FormatMillis renders a duration in milliseconds (the Figure-15 axis).
+func FormatMillis(d simclock.Duration) string {
+	return fmt.Sprintf("%.2f ms", d.Milliseconds())
+}
+
+// FormatJoules renders energy in millijoules.
+func FormatJoules(j float64) string {
+	return fmt.Sprintf("%.3f mJ", j*1e3)
+}

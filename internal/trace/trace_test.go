@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "longheader", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("wide-cell", "x") // short row padded
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "longheader") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("rule line = %q", lines[2])
+	}
+	// Columns align: every data line has the same prefix width for col 2.
+	idx1 := strings.Index(lines[1], "longheader")
+	idx3 := strings.Index(lines[3], "2")
+	if idx1 != idx3 {
+		t.Fatalf("column 2 misaligned: header at %d, data at %d\n%s", idx1, idx3, out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 1) != "2" || tb.Cell(1, 0) != "wide-cell" || tb.Cell(1, 2) != "" {
+		t.Fatal("Cell lookups wrong")
+	}
+	if tb.Cell(9, 9) != "" {
+		t.Fatal("out-of-range Cell not empty")
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Fatal("empty title printed a blank line")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline("T")
+	tl.Add(simclock.Time(5*simclock.Minute), "attempt #%d", 1)
+	tl.Add(simclock.Time(10*simclock.Minute), "skip")
+	events := tl.Events()
+	if len(events) != 2 || events[0].What != "attempt #1" {
+		t.Fatalf("events = %v", events)
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "t=5.0 min") || !strings.Contains(out, "attempt #1") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FormatDuration(90 * simclock.Second), "1.5 min"},
+		{FormatDuration(2500 * simclock.Millisecond), "2.50 s"},
+		{FormatDuration(1500 * simclock.Microsecond), "1.50 ms"},
+		{FormatMillis(2 * simclock.Second), "2000.00 ms"},
+		{FormatJoules(0.0025), "2.500 mJ"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("with,comma", `with"quote`)
+	got := tb.CSV()
+	want := "a,b\n1,plain\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,510 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/ir"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+const paperSpec = `
+micSense: {
+    maxTries: 10 onFail: skipPath;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    maxDuration: 100ms onFail: skipTask;
+    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath;
+}
+`
+
+// healthGraph mirrors the Figure-6 benchmark topology.
+func healthGraph(t *testing.T) *task.Graph {
+	t.Helper()
+	send := &task.Task{Name: "send"}
+	g, err := task.NewGraph(
+		&task.Path{ID: 1, Tasks: []*task.Task{
+			{Name: "bodyTemp"}, {Name: "calcAvg", DepData: "avgTemp"}, {Name: "heartRate"}, send,
+		}},
+		&task.Path{ID: 2, Tasks: []*task.Task{
+			{Name: "accel"}, {Name: "filter"}, {Name: "classify"}, send,
+		}},
+		&task.Path{ID: 3, Tasks: []*task.Task{
+			{Name: "micSense"}, send,
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func compilePaper(t *testing.T) *Result {
+	t.Helper()
+	s := spec.MustParse(paperSpec)
+	res, err := Compile(s, Options{Graph: healthGraph(t), DataVars: []string{"avgTemp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCompilePaperSpec(t *testing.T) {
+	res := compilePaper(t)
+	if got := len(res.Program.Machines); got != 8 {
+		t.Fatalf("machines = %d, want 8 (one per property)", got)
+	}
+	if got := len(res.Bindings); got != 8 {
+		t.Fatalf("bindings = %d, want 8", got)
+	}
+	// Every machine passes static checks (Compile already ran Check, but
+	// verify individually for clearer failures).
+	for _, m := range res.Program.Machines {
+		if err := m.Check(); err != nil {
+			t.Errorf("machine %s: %v", m.Name, err)
+		}
+	}
+	// The printed program reparses: generated IR is valid concrete syntax.
+	if _, err := ir.Parse(res.Program.String()); err != nil {
+		t.Fatalf("generated IR does not reparse: %v\n%s", err, res.Program.String())
+	}
+}
+
+func TestBindingPaths(t *testing.T) {
+	res := compilePaper(t)
+	byMachine := map[string]Binding{}
+	for _, b := range res.Bindings {
+		byMachine[b.Machine] = b
+	}
+	cases := []struct {
+		machine string
+		path    int
+		kind    spec.Kind
+	}{
+		{"maxTries_micSense", 3, spec.KindMaxTries},
+		{"maxTries_accel", 2, spec.KindMaxTries},
+		{"MITD_send_accel", 2, spec.KindMITD},
+		{"maxDuration_send", 0, spec.KindMaxDuration}, // send is merged; no explicit path
+		{"collect_send_accel", 2, spec.KindCollect},
+		{"collect_send_micSense", 3, spec.KindCollect},
+		{"collect_calcAvg_bodyTemp", 1, spec.KindCollect},
+		{"dpData_calcAvg_avgTemp", 1, spec.KindDpData},
+	}
+	for _, tc := range cases {
+		b, ok := byMachine[tc.machine]
+		if !ok {
+			names := make([]string, 0, len(byMachine))
+			for n := range byMachine {
+				names = append(names, n)
+			}
+			t.Fatalf("machine %q missing; have %v", tc.machine, names)
+		}
+		if b.Path != tc.path || b.Kind != tc.kind {
+			t.Errorf("%s: binding %+v, want path %d kind %v", tc.machine, b, tc.path, tc.kind)
+		}
+	}
+}
+
+func run(t *testing.T, m *ir.Machine, env ir.Env, evs []ir.Event) []ir.Failure {
+	t.Helper()
+	var all []ir.Failure
+	for _, ev := range evs {
+		fs, err := ir.Step(m, env, ev)
+		if err != nil {
+			t.Fatalf("step %v: %v", ev, err)
+		}
+		all = append(all, fs...)
+	}
+	return all
+}
+
+func at(min int) simclock.Time { return simclock.Time(simclock.Duration(min) * simclock.Minute) }
+
+func TestCompiledMITDBehaviour(t *testing.T) {
+	res := compilePaper(t)
+	m := res.Program.Machine("MITD_send_accel")
+	if m == nil {
+		t.Fatal("MITD machine missing")
+	}
+
+	// In-time start on path 2: satisfied.
+	env := ir.NewVolatileEnv(m)
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvEnd, Task: "accel", Time: at(0), Path: 2},
+		{Kind: ir.EvStart, Task: "send", Time: at(3), Path: 2},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+
+	// send starting in path 3 never triggers the path-2 MITD.
+	env = ir.NewVolatileEnv(m)
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvEnd, Task: "accel", Time: at(0), Path: 2},
+		{Kind: ir.EvStart, Task: "send", Time: at(60), Path: 3},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("cross-path failures = %v", fs)
+	}
+
+	// Three late attempts: restartPath, restartPath, then skipPath.
+	env = ir.NewVolatileEnv(m)
+	var evs []ir.Event
+	for i := 0; i < 3; i++ {
+		evs = append(evs,
+			ir.Event{Kind: ir.EvEnd, Task: "accel", Time: at(20 * i), Path: 2},
+			ir.Event{Kind: ir.EvStart, Task: "send", Time: at(20*i + 10), Path: 2},
+		)
+	}
+	fs = run(t, m, env, evs)
+	if len(fs) != 3 {
+		t.Fatalf("failures = %v, want 3", fs)
+	}
+	want := []action.Action{action.RestartPath, action.RestartPath, action.SkipPath}
+	for i, f := range fs {
+		if f.Action != want[i] || f.Path != 2 {
+			t.Errorf("failure %d = %v, want %v path 2", i, f, want[i])
+		}
+	}
+}
+
+func TestCompiledCollectAccumulatesAcrossFailures(t *testing.T) {
+	res := compilePaper(t)
+	m := res.Program.Machine("collect_calcAvg_bodyTemp")
+	if m == nil {
+		t.Fatal("collect machine missing")
+	}
+	env := ir.NewVolatileEnv(m)
+	// Path 1 restarts until ten bodyTemp samples accumulate (§5.1 Path #1).
+	failures := 0
+	tNow := simclock.Time(0)
+	for round := 0; round < 10; round++ {
+		tNow += simclock.Time(simclock.Second)
+		fs := run(t, m, env, []ir.Event{
+			{Kind: ir.EvEnd, Task: "bodyTemp", Time: tNow, Path: 1},
+			{Kind: ir.EvStart, Task: "calcAvg", Time: tNow + 1, Path: 1},
+		})
+		for _, f := range fs {
+			if f.Action != action.RestartPath {
+				t.Fatalf("round %d: action %v", round, f.Action)
+			}
+			failures++
+		}
+	}
+	if failures != 9 {
+		t.Fatalf("failures = %d, want 9 (tenth start succeeds)", failures)
+	}
+	// A re-execution of the consumer after a power failure still sees the
+	// items: consumption happens only at the consumer's end event.
+	fs := run(t, m, env, []ir.Event{{Kind: ir.EvStart, Task: "calcAvg", Time: tNow + 2, Path: 1}})
+	if len(fs) != 0 {
+		t.Fatalf("re-execution start failed despite unconsumed items: %v", fs)
+	}
+	// After the consumer completes, the counter is consumed and the next
+	// round must collect afresh.
+	run(t, m, env, []ir.Event{{Kind: ir.EvEnd, Task: "calcAvg", Time: tNow + 3, Path: 1}})
+	fs = run(t, m, env, []ir.Event{{Kind: ir.EvStart, Task: "calcAvg", Time: tNow + 4, Path: 1}})
+	if len(fs) != 1 {
+		t.Fatalf("post-consumption start did not fail: %v", fs)
+	}
+}
+
+func TestCompiledDpDataRange(t *testing.T) {
+	res := compilePaper(t)
+	m := res.Program.Machine("dpData_calcAvg_avgTemp")
+	if m == nil {
+		t.Fatal("dpData machine missing")
+	}
+	env := ir.NewVolatileEnv(m)
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvEnd, Task: "calcAvg", Time: 1, Path: 1, Data: 36.8}, // healthy
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvEnd, Task: "calcAvg", Time: 2, Path: 1, Data: 39.4}, // fever
+	})
+	if len(fs) != 1 || fs[0].Action != action.CompletePath {
+		t.Fatalf("failures = %v, want completePath", fs)
+	}
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvEnd, Task: "calcAvg", Time: 3, Path: 1, Data: 34.9}, // hypothermia
+	})
+	if len(fs) != 1 || fs[0].Action != action.CompletePath {
+		t.Fatalf("failures = %v, want completePath", fs)
+	}
+}
+
+func TestCompiledMaxDuration(t *testing.T) {
+	res := compilePaper(t)
+	m := res.Program.Machine("maxDuration_send")
+	if m == nil {
+		t.Fatal("maxDuration machine missing")
+	}
+	env := ir.NewVolatileEnv(m)
+	ms := func(n int) simclock.Time { return simclock.Time(simclock.Duration(n) * simclock.Millisecond) }
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "send", Time: ms(0), Path: 2},
+		{Kind: ir.EvEnd, Task: "send", Time: ms(60), Path: 2},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "send", Time: ms(1000), Path: 2},
+		{Kind: ir.EvEnd, Task: "send", Time: ms(1200), Path: 2},
+	})
+	if len(fs) != 1 || fs[0].Action != action.SkipTask {
+		t.Fatalf("failures = %v, want skipTask", fs)
+	}
+}
+
+func TestCompilePeriodWithJitterAndMaxAttempt(t *testing.T) {
+	g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{{Name: "sample"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.MustParse(`sample { period: 1min jitter: 5s onFail: restartPath maxAttempt: 2 onFail: skipPath; }`)
+	res, err := Compile(s, Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Program.Machines[0]
+	env := ir.NewVolatileEnv(m)
+	sec := func(n int) simclock.Time { return simclock.Time(simclock.Duration(n) * simclock.Second) }
+
+	// On-time starts (within 65 s of each other): no failures.
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "sample", Time: sec(0), Path: 1},
+		{Kind: ir.EvStart, Task: "sample", Time: sec(60), Path: 1},
+		{Kind: ir.EvStart, Task: "sample", Time: sec(124), Path: 1},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures = %v", fs)
+	}
+	// First late start: restartPath; second: skipPath (maxAttempt 2).
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "sample", Time: sec(300), Path: 1},
+		{Kind: ir.EvStart, Task: "sample", Time: sec(600), Path: 1},
+	})
+	if len(fs) != 2 || fs[0].Action != action.RestartPath || fs[1].Action != action.SkipPath {
+		t.Fatalf("failures = %v", fs)
+	}
+}
+
+func TestCompilePeriodWithoutMaxAttempt(t *testing.T) {
+	g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{{Name: "sample"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.MustParse(`sample { period: 1min onFail: restartTask; }`)
+	res, err := Compile(s, Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Program.Machines[0]
+	env := ir.NewVolatileEnv(m)
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "sample", Time: at(0), Path: 1},
+		{Kind: ir.EvStart, Task: "sample", Time: at(10), Path: 1},
+		{Kind: ir.EvStart, Task: "sample", Time: at(20), Path: 1},
+	})
+	if len(fs) != 2 {
+		t.Fatalf("failures = %v, want 2 (every late start fails)", fs)
+	}
+}
+
+func TestCompileMITDWithoutMaxAttempt(t *testing.T) {
+	g := healthGraph(t)
+	s := spec.MustParse(`send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }`)
+	res, err := Compile(s, Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Program.Machines[0]
+	env := ir.NewVolatileEnv(m)
+	// Every violation keeps signalling restartPath — the Mayfly
+	// non-termination behaviour when used without maxAttempt.
+	var evs []ir.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs,
+			ir.Event{Kind: ir.EvEnd, Task: "accel", Time: at(20 * i), Path: 2},
+			ir.Event{Kind: ir.EvStart, Task: "send", Time: at(20*i + 10), Path: 2},
+		)
+	}
+	fs := run(t, m, env, evs)
+	if len(fs) != 5 {
+		t.Fatalf("failures = %d, want 5", len(fs))
+	}
+	for _, f := range fs {
+		if f.Action != action.RestartPath {
+			t.Fatalf("action = %v", f.Action)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g := healthGraph(t)
+	if _, err := Compile(spec.MustParse("accel { maxTries: 3 onFail: skipPath; }"), Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	// Spec referencing an unknown task fails validation.
+	if _, err := Compile(spec.MustParse("ghost { maxTries: 3 onFail: skipPath; }"), Options{Graph: g}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	// dpData var not in DataVars.
+	if _, err := Compile(spec.MustParse("calcAvg { dpData: avgTemp Range: [36,38] onFail: completePath; }"),
+		Options{Graph: g}); err == nil {
+		t.Error("undeclared data var accepted")
+	}
+	// dpData var mismatching the task's DepData declaration.
+	if _, err := Compile(spec.MustParse("heartRate { dpData: avgTemp Range: [36,38] onFail: completePath; }"),
+		Options{Graph: g, DataVars: []string{"avgTemp"}}); err == nil {
+		t.Error("dpData on task without matching DepData accepted")
+	}
+}
+
+func TestMachineNameDisambiguation(t *testing.T) {
+	res := compilePaper(t)
+	seen := map[string]bool{}
+	for _, m := range res.Program.Machines {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	// Two maxTries on the same task get sequence suffixes.
+	g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{{Name: "a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.MustParse("a { maxTries: 3 onFail: skipPath; maxTries: 5 onFail: skipPath; }")
+	res2, err := Compile(s, Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{res2.Program.Machines[0].Name, res2.Program.Machines[1].Name}
+	if names[0] == names[1] {
+		t.Fatalf("duplicate names %v", names)
+	}
+	if !strings.HasSuffix(names[1], "_2") {
+		t.Fatalf("second machine name %q lacks sequence suffix", names[1])
+	}
+}
+
+func TestCompileMinEnergy(t *testing.T) {
+	g := healthGraph(t)
+	res, err := Compile(spec.MustParse(`accel { minEnergy: 450uJ onFail: skipTask; }`),
+		Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Program.Machines[0]
+	env := ir.NewVolatileEnv(m)
+
+	// Plenty of energy: no failure.
+	fs := run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "accel", Time: 1, Path: 2, Energy: 800},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("failures with full budget: %v", fs)
+	}
+	// Below threshold: skipTask.
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "accel", Time: 2, Path: 2, Energy: 200},
+	})
+	if len(fs) != 1 || fs[0].Action != action.SkipTask {
+		t.Fatalf("failures = %v, want skipTask", fs)
+	}
+	// Other tasks unaffected regardless of level.
+	fs = run(t, m, env, []ir.Event{
+		{Kind: ir.EvStart, Task: "send", Time: 3, Path: 2, Energy: 1},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("cross-task failures: %v", fs)
+	}
+}
+
+// Property: any structurally valid generated specification compiles to a
+// checked program with one machine and one binding per property.
+func TestCompileAnyValidSpecProperty(t *testing.T) {
+	g := healthGraph(t)
+	kinds := []spec.Kind{spec.KindMaxTries, spec.KindMaxDuration, spec.KindCollect, spec.KindPeriod, spec.KindMinEnergy}
+	tasks := []string{"bodyTemp", "filter", "classify", "heartRate", "micSense", "accel"}
+	f := func(kindSel, taskSel, vals []uint8) bool {
+		n := len(kindSel)
+		if n == 0 {
+			return true
+		}
+		if n > 8 {
+			n = 8
+		}
+		byTask := map[string][]spec.Property{}
+		var order []string
+		props := 0
+		for i := 0; i < n; i++ {
+			k := kinds[int(kindSel[i])%len(kinds)]
+			taskName := tasks[pick(taskSel, i)%len(tasks)]
+			v := int64(pick(vals, i)%9) + 1
+			p := spec.Property{Kind: k, OnFail: spec.ActionSkipTask}
+			switch k {
+			case spec.KindMaxTries, spec.KindCollect:
+				p.Count = v
+			case spec.KindMaxDuration, spec.KindPeriod:
+				p.Duration = simclock.Duration(v) * simclock.Second
+			case spec.KindMinEnergy:
+				p.EnergyUJ = float64(v) * 100
+			}
+			if k == spec.KindCollect {
+				p.DpTask = "bodyTemp"
+				if taskName == "bodyTemp" {
+					p.DpTask = "accel"
+				}
+			}
+			if _, seen := byTask[taskName]; !seen {
+				order = append(order, taskName)
+			}
+			byTask[taskName] = append(byTask[taskName], p)
+			props++
+		}
+		s := &spec.Spec{}
+		for _, taskName := range order {
+			s.Blocks = append(s.Blocks, spec.TaskBlock{Task: taskName, Props: byTask[taskName]})
+		}
+		res, err := Compile(s, Options{Graph: g})
+		if err != nil {
+			return false
+		}
+		if len(res.Program.Machines) != props || len(res.Bindings) != props {
+			return false
+		}
+		return res.Program.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pick(xs []uint8, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return int(xs[i%len(xs)])
+}
