@@ -9,6 +9,8 @@
 //	artemis-sim -harvest 5e-6            # physical capacitor + 5 µW harvester
 //	artemis-sim -show-ir                 # print the generated monitor machines
 //	artemis-sim -app camera -rounds 6    # the Camaroptera-style camera node
+//	artemis-sim -burst 40ms -seed 7      # bursty harvester, reproducible schedule
+//	artemis-sim -chaos -seed 42          # fault-injection campaign (internal/chaos)
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"github.com/tinysystems/artemis-go/internal/action"
 	"github.com/tinysystems/artemis-go/internal/camera"
+	"github.com/tinysystems/artemis-go/internal/chaos"
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/device"
 	"github.com/tinysystems/artemis-go/internal/health"
@@ -50,9 +53,27 @@ func run(args []string, w io.Writer) error {
 		reboots  = fs.Int("reboots", 200, "reboot budget before declaring non-termination")
 		showIR   = fs.Bool("show-ir", false, "print the generated monitor state machines")
 		verbose  = fs.Bool("v", false, "log every decision and reboot")
+		seed     = fs.Int64("seed", 1, "RNG seed for -burst supplies and -chaos campaigns")
+		burst    = fs.String("burst", "", "mean on-dwell of a bursty harvester (e.g. 40ms); selects the burst supply")
+		burstOff = fs.String("burst-off", "", "mean off-dwell of the bursty harvester (defaults to the on-dwell)")
+		runChaos = fs.Bool("chaos", false, "run the fault-injection campaign against the health benchmark")
+		crashPts = fs.Int("chaos-crash-points", 0, "crash points to sample in the chaos campaign (0 = exhaustive)")
+		faultRun = fs.Int("chaos-fault-runs", 5, "seeded runs per radio / bit-flip fault family")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *runChaos {
+		rep, err := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun).Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, rep.String())
+		if rep.Failures() > 0 {
+			return fmt.Errorf("chaos campaign found %d failures", rep.Failures())
+		}
+		return nil
 	}
 
 	cfg := core.Config{
@@ -96,6 +117,26 @@ func run(args []string, w io.Writer) error {
 	}
 
 	switch {
+	case *burst != "":
+		on, err := simclock.ParseDuration(*burst)
+		if err != nil {
+			return err
+		}
+		off := on
+		if *burstOff != "" {
+			if off, err = simclock.ParseDuration(*burstOff); err != nil {
+				return err
+			}
+		}
+		hw := *harvest
+		if hw <= 0 {
+			hw = 5e-3
+		}
+		cfg.Supply = core.SupplyConfig{
+			Kind:         core.SupplyBurst,
+			CapacitanceF: 220e-6, VMax: 5.0, VOn: 3.2, VOff: 1.8,
+			HarvestW: hw, MeanOn: on, MeanOff: off, Seed: *seed,
+		}
 	case *harvest > 0:
 		cfg.Supply = core.SupplyConfig{
 			Kind:         core.SupplyHarvested,

@@ -120,3 +120,39 @@ func TestUnknownApp(t *testing.T) {
 		t.Fatal("unknown app accepted")
 	}
 }
+
+func TestChaosModeDeterministic(t *testing.T) {
+	campaign := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-chaos", "-seed", "42", "-chaos-crash-points", "50", "-chaos-fault-runs", "3"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := campaign(), campaign()
+	if a != b {
+		t.Errorf("same -seed produced different chaos reports:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"chaos campaign (seed 42)", "crash:", "radio:", "sensor:", "bitflip:", "verdict:    PASS"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestBurstSupplySeeded(t *testing.T) {
+	burst := func(seed string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-burst", "40ms", "-seed", seed}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := burst("7"), burst("7")
+	if a != b {
+		t.Errorf("same -seed produced different burst runs:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "completed") {
+		t.Errorf("burst run did not complete:\n%s", a)
+	}
+}

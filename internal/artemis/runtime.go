@@ -85,6 +85,12 @@ type Config struct {
 	// it to reconstruct timelines (Figure 13).
 	OnDecision func(ev monitor.Event, d monitor.Decision)
 
+	// OnRecovery, when non-nil, observes every boot that finds an event in
+	// flight — a power failure interrupted delivery and the runtime is
+	// about to finalise it (monitorFinalize). Fault-injection harnesses
+	// use it to confirm the recovery path actually exercised.
+	OnRecovery func(seq uint64)
+
 	// Extras are additional persistent structures (e.g. task.Channel) the
 	// runtime commits at every task boundary and rolls back on reboot,
 	// extending the store's atomicity to them.
@@ -103,7 +109,10 @@ type Stats struct {
 	PathRestarts int
 	PathSkips    int
 	PathComplete int
-	Decisions    map[action.Action]int
+	// Recoveries counts boots that found an undelivered event in flight,
+	// i.e. reboots whose recovery re-entered monitor finalisation.
+	Recoveries int
+	Decisions  map[action.Action]int
 }
 
 // Runtime executes one application under ARTEMIS monitoring.
@@ -112,6 +121,9 @@ type Runtime struct {
 	state *controlState
 	init  *nvm.Var[bool]
 	stats Stats
+	// loose holds Extras that could not join the shared commit group and
+	// therefore still need their own commit at task boundaries.
+	loose []task.Persistent
 }
 
 // Control-region word layout.
@@ -175,12 +187,32 @@ func New(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{
+	// One shared-selector commit group couples the control region, the
+	// store, and every joinable Extra: a task's outputs and the control
+	// advance past it become durable in a single atomic flip, closing the
+	// double-execution window that separate selectors would open at every
+	// task boundary (a crash between "outputs committed" and "status
+	// committed" re-runs the task against its own committed outputs).
+	group, err := nvm.NewCommitGroup(cfg.MCU.Mem, Owner, "commit")
+	if err != nil {
+		return nil, err
+	}
+	c.Join(group)
+	cfg.Store.Join(group)
+	r := &Runtime{
 		cfg:   cfg,
 		state: &controlState{c: c},
 		init:  initDone,
 		stats: Stats{Decisions: map[action.Action]int{}},
-	}, nil
+	}
+	for _, e := range cfg.Extras {
+		if j, ok := e.(interface{ Join(*nvm.CommitGroup) }); ok {
+			j.Join(group)
+		} else {
+			r.loose = append(r.loose, e)
+		}
+	}
+	return r, nil
 }
 
 // Stats returns the decision counters accumulated so far.
@@ -207,6 +239,12 @@ func (r *Runtime) Boot() error {
 	r.cfg.Store.Rollback()
 	for _, e := range r.cfg.Extras {
 		e.Rollback()
+	}
+	if !r.state.getB(wEvDelivered) {
+		r.stats.Recoveries++
+		if r.cfg.OnRecovery != nil {
+			r.cfg.OnRecovery(r.state.get(wEvSeq))
+		}
 	}
 
 	for steps := 0; ; steps++ {
@@ -415,11 +453,13 @@ func (r *Runtime) runCurrentTask() error {
 		return fmt.Errorf("artemis: task %s: %w", t.Name, err)
 	}
 	r.stats.TaskRuns++
-	// Task boundary: outputs commit, then control state. A crash between
-	// the commits re-runs the task; idempotent re-execution re-commits the
-	// same outputs.
-	r.cfg.Store.Commit()
-	for _, e := range r.cfg.Extras {
+	// Task boundary: stage the control advance, then one shared-selector
+	// commit makes outputs, channels, and control state durable together.
+	// With separate commits a crash in between would re-run the task
+	// against its own committed outputs, double-counting self-incrementing
+	// state (tempCount += 1 twice) — the write-granularity crash explorer
+	// flags exactly that window.
+	for _, e := range r.loose {
 		e.Commit()
 	}
 	s := r.state

@@ -59,6 +59,10 @@ func Keys() []string {
 type App struct {
 	Graph  *task.Graph
 	Chunks *task.Channel
+	// SenseMotion, when non-nil, transforms the PIR reading before the
+	// detect task stores it (nominal is 1 = motion). Fault-injection
+	// harnesses model a stuck or dropped motion sensor here.
+	SenseMotion func(nominal float64) float64
 }
 
 // New builds the application against the given memory (the channel needs
@@ -78,7 +82,11 @@ func New(mem *nvm.Memory, chunksPerFrame int) (*App, error) {
 		Cycles:      1500,
 		Peripherals: []string{"pir"},
 		Run: func(c *task.Ctx) error {
-			c.Set("motion", 1)
+			motion := 1.0
+			if a.SenseMotion != nil {
+				motion = a.SenseMotion(motion)
+			}
+			c.Set("motion", motion)
 			return nil
 		},
 	}

@@ -1,0 +1,348 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+)
+
+// RadioCampaign exercises the remote-monitor deployment over a lossy,
+// duplicating radio channel: several seeded runs check that the retry /
+// backoff / degrade-to-local machinery neither loses nor double-counts
+// events.
+type RadioCampaign struct {
+	// Build constructs a fresh deployment wired to the given link; it must
+	// enable remote monitors.
+	Build func(link monitor.Link) (*core.Framework, error)
+
+	// Keys are the store outputs captured into each Outcome.
+	Keys []string
+
+	// Invariant checks a lossy run against the perfect-link reference.
+	Invariant func(ref, got Outcome) error
+
+	// Runs is how many seeded lossy runs to perform (default 5).
+	Runs int
+
+	// Seed derives each run's link seed.
+	Seed int64
+
+	// DropProb / DupProb parameterise the channel.
+	DropProb float64
+	DupProb  float64
+}
+
+// RadioRunResult is the verdict of one lossy run.
+type RadioRunResult struct {
+	LinkSeed   int64
+	Completed  bool
+	Reboots    int
+	Retries    int
+	Degraded   int
+	Duplicates int
+	Drops      int
+	Failure    string // empty = pass
+}
+
+// RadioReport summarises a radio campaign.
+type RadioReport struct {
+	Runs   int
+	Failed int
+	// Totals across runs.
+	Retries    int
+	Degraded   int
+	Duplicates int
+	Drops      int
+	Results    []RadioRunResult
+	Ref        Outcome
+}
+
+// String renders the campaign summary deterministically.
+func (r *RadioReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "radio:      %d lossy runs, %d failed\n", r.Runs, r.Failed)
+	fmt.Fprintf(&b, "            drops %d, retries %d, duplicates %d, degraded-to-local %d\n",
+		r.Drops, r.Retries, r.Duplicates, r.Degraded)
+	for _, res := range r.Results {
+		if res.Failure != "" {
+			fmt.Fprintf(&b, "            FAIL seed %d: %s\n", res.LinkSeed, res.Failure)
+		}
+	}
+	return b.String()
+}
+
+// Run executes the campaign: one perfect-link reference, then Runs lossy
+// runs with derived seeds.
+func (c *RadioCampaign) Run() (*RadioReport, error) {
+	if c.Build == nil {
+		return nil, fmt.Errorf("chaos: RadioCampaign needs a Build function")
+	}
+	runs := c.Runs
+	if runs <= 0 {
+		runs = 5
+	}
+
+	f, err := c.Build(nil)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := f.Run()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: radio reference run failed: %w", err)
+	}
+	if !rep.Completed {
+		return nil, fmt.Errorf("chaos: radio reference run did not complete")
+	}
+	ref := capture(f, rep, c.Keys)
+
+	out := &RadioReport{Runs: runs, Ref: ref}
+	for i := 0; i < runs; i++ {
+		// Distinct, reproducible seed per run.
+		linkSeed := c.Seed*7919 + int64(i) + 1
+		link := NewLossyLink(linkSeed, c.DropProb, c.DupProb)
+		f, err := c.Build(link)
+		if err != nil {
+			return nil, err
+		}
+		res := RadioRunResult{LinkSeed: linkSeed}
+		rep, err := f.Run()
+		rem := f.Remote()
+		if rem == nil {
+			return nil, fmt.Errorf("chaos: RadioCampaign build did not deploy remote monitors")
+		}
+		res.Retries, res.Degraded, res.Duplicates = rem.Retries(), rem.Degraded(), rem.Duplicates()
+		res.Drops = link.Drops()
+		switch {
+		case err != nil:
+			res.Failure = err.Error()
+		case !rep.Completed:
+			res.Failure = "run did not complete"
+		default:
+			res.Completed = true
+			res.Reboots = rep.Reboots
+			got := capture(f, rep, c.Keys)
+			if c.Invariant != nil {
+				if ierr := c.Invariant(ref, got); ierr != nil {
+					res.Failure = ierr.Error()
+				}
+			}
+		}
+		if res.Failure != "" {
+			out.Failed++
+		}
+		out.Retries += res.Retries
+		out.Degraded += res.Degraded
+		out.Duplicates += res.Duplicates
+		out.Drops += res.Drops
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// SensorCase pairs one sensor fault with the behaviour the monitors are
+// expected to show under it (detection for harmful faults, business as
+// usual for benign ones).
+type SensorCase struct {
+	Fault  SensorFault
+	Expect func(got Outcome) error
+}
+
+// SensorCampaign runs the deployment once per sensor-fault case.
+type SensorCampaign struct {
+	// Build constructs a fresh deployment with the fault wrapped around
+	// the application's sensor source.
+	Build func(f SensorFault) (*core.Framework, error)
+	Keys  []string
+	Cases []SensorCase
+}
+
+// SensorCaseResult is the verdict of one fault case.
+type SensorCaseResult struct {
+	Fault     string
+	Completed bool
+	// Detections summarises the monitor reactions the fault provoked.
+	PathCompletes int
+	PathRestarts  int
+	PathSkips     int
+	TaskSkips     int
+	Failure       string // empty = pass
+}
+
+// SensorReport summarises a sensor campaign.
+type SensorReport struct {
+	Cases   int
+	Failed  int
+	Results []SensorCaseResult
+}
+
+// String renders the campaign summary deterministically.
+func (r *SensorReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sensor:     %d fault cases, %d failed\n", r.Cases, r.Failed)
+	for _, res := range r.Results {
+		verdict := "ok"
+		if res.Failure != "" {
+			verdict = "FAIL: " + res.Failure
+		}
+		fmt.Fprintf(&b, "            %-10s completes=%d restarts=%d skips=%d/%d  %s\n",
+			res.Fault, res.PathCompletes, res.PathRestarts, res.PathSkips, res.TaskSkips, verdict)
+	}
+	return b.String()
+}
+
+// Run executes every case.
+func (c *SensorCampaign) Run() (*SensorReport, error) {
+	if c.Build == nil {
+		return nil, fmt.Errorf("chaos: SensorCampaign needs a Build function")
+	}
+	out := &SensorReport{Cases: len(c.Cases)}
+	for _, cs := range c.Cases {
+		f, err := c.Build(cs.Fault)
+		if err != nil {
+			return nil, err
+		}
+		res := SensorCaseResult{Fault: cs.Fault.Name()}
+		rep, err := f.Run()
+		if err != nil {
+			res.Failure = err.Error()
+		} else {
+			got := capture(f, rep, c.Keys)
+			res.Completed = got.Completed
+			res.PathCompletes = got.PathCompletes
+			res.PathRestarts = got.PathRestarts
+			res.PathSkips = got.PathSkips
+			res.TaskSkips = got.TaskSkips
+			if cs.Expect != nil {
+				if eerr := cs.Expect(got); eerr != nil {
+					res.Failure = eerr.Error()
+				}
+			}
+		}
+		if res.Failure != "" {
+			out.Failed++
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// FlipCampaign injects NVM soft errors (bit flips) mid-run and classifies
+// the outcomes. A flip may be masked (outputs identical), degrade data
+// (outputs differ but the run completes), or be detected (the runtime
+// reports an error / non-termination); an uncontrolled panic counts as a
+// campaign failure.
+type FlipCampaign struct {
+	Build func() (*core.Framework, error)
+	Keys  []string
+	// Owner restricts flips to one owner's allocations ("" = any).
+	Owner string
+	// Runs is how many flip runs to perform (default 5).
+	Runs int
+	Seed int64
+}
+
+// FlipReport summarises a bit-flip campaign.
+type FlipReport struct {
+	Runs      int
+	Masked    int // outputs identical to the reference
+	Degraded  int // completed with diverging outputs
+	Detected  int // runtime reported an error or non-termination
+	Crashed   int // uncontrolled panic — a robustness failure
+	CrashLogs []string
+}
+
+// String renders the campaign summary deterministically.
+func (r *FlipReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bitflip:    %d flips: %d masked, %d degraded, %d detected, %d crashed\n",
+		r.Runs, r.Masked, r.Degraded, r.Detected, r.Crashed)
+	for _, l := range r.CrashLogs {
+		fmt.Fprintf(&b, "            CRASH %s\n", l)
+	}
+	return b.String()
+}
+
+// Run executes the campaign: one clean reference run to size the write
+// sequence, then Runs runs with one random flip each, injected at a
+// random point of the write sequence.
+func (c *FlipCampaign) Run() (*FlipReport, error) {
+	if c.Build == nil {
+		return nil, fmt.Errorf("chaos: FlipCampaign needs a Build function")
+	}
+	runs := c.Runs
+	if runs <= 0 {
+		runs = 5
+	}
+	f, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	base := f.MCU().Mem.Stats().Writes
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		return nil, fmt.Errorf("chaos: flip reference run did not complete (%v)", err)
+	}
+	writes := int(f.MCU().Mem.Stats().Writes - base)
+	ref := capture(f, rep, c.Keys)
+
+	r := rng(c.Seed)
+	out := &FlipReport{Runs: runs}
+	for i := 0; i < runs; i++ {
+		point := 1 + r.Intn(writes)
+		flipSeed := r.Int63()
+		f, err := c.Build()
+		if err != nil {
+			return nil, err
+		}
+		mem := f.MCU().Mem
+		flipper := NewBitFlipper(mem, flipSeed)
+		armed := point
+		var where string
+		mem.SetWriteObserver(func() {
+			armed--
+			if armed == 0 {
+				if a, off, bit, ok := flipper.Flip(c.Owner); ok {
+					where = fmt.Sprintf("%s/%s byte %d bit %d after write %d", a.Owner, a.Name, off-a.Off, bit, point)
+				}
+			}
+		})
+		rep, err := c.attempt(f)
+		mem.SetWriteObserver(nil)
+		switch {
+		case rep == nil: // panicked
+			out.Crashed++
+			out.CrashLogs = append(out.CrashLogs, fmt.Sprintf("%s: %v", where, err))
+		case err != nil || rep.NonTerminated || !rep.Completed:
+			out.Detected++
+		default:
+			got := capture(f, rep, c.Keys)
+			same := true
+			for _, k := range c.Keys {
+				if got.Outputs[k] != ref.Outputs[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				out.Masked++
+			} else {
+				out.Degraded++
+			}
+		}
+	}
+	return out, nil
+}
+
+// attempt runs the framework, converting an uncontrolled panic (corrupted
+// control state can index out of bounds) into a nil report + error so the
+// campaign can classify it instead of dying.
+func (c *FlipCampaign) attempt(f *core.Framework) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f.Run()
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/monitor"
+)
+
+// This file wires the chaos engine to the paper's health benchmark — the
+// shared campaign definitions the CLI (`artemis-sim --chaos`) and the test
+// suite both run. Keeping them here means "the campaign the CI smoke test
+// passes" and "the campaign a user runs" are the same object.
+
+// healthKeys are the outputs the oracles compare across runs.
+var healthKeys = []string{"tempCount", "avgTemp", "sentCount", "micData", "accelData", "heartRate"}
+
+// healthExactKeys must be bit-identical to the reference after any single
+// crash: counters and one-shot flags no crash may lose or double-count.
+var healthExactKeys = []string{"tempCount", "micData", "accelData"}
+
+func buildHealth(mut func(cfg *core.Config, app *health.App)) (*core.Framework, error) {
+	app := health.New()
+	cfg := core.Config{
+		System:     core.Artemis,
+		Graph:      app.Graph,
+		StoreKeys:  health.Keys(),
+		SpecSource: health.SpecSource,
+		Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
+	}
+	if mut != nil {
+		mut(&cfg, app)
+	}
+	return core.New(cfg)
+}
+
+// healthInvariant checks the application-level safety properties that must
+// hold in every surviving execution, crash or not:
+//
+//   - exactly 10 temperature samples contribute to the average (the
+//     collect: 10 contract — a lost or doubled sample breaks it),
+//   - avgTemp stays within the sensor model's envelope around 36.6,
+//   - between 2 and 3 sends: the maxDuration: 100ms timeliness guard may
+//     legitimately skip one send when a crash stretches the send window,
+//     but the collect monitors never allow fewer than 2 or more than 3.
+func healthInvariant(ref, got Outcome) error {
+	if got.Outputs["tempCount"] != 10 {
+		return fmt.Errorf("tempCount = %v, want 10 (sample lost or double-counted)", got.Outputs["tempCount"])
+	}
+	if avg := got.Outputs["avgTemp"]; avg < 36.4 || avg > 36.8 {
+		return fmt.Errorf("avgTemp = %v, want within [36.4, 36.8]", avg)
+	}
+	if sc := got.Outputs["sentCount"]; sc < 2 || sc > 3 {
+		return fmt.Errorf("sentCount = %v, want 2 or 3", sc)
+	}
+	return nil
+}
+
+// NewHealthExplorer builds the exhaustive NVM-write-granularity crash
+// explorer for the health benchmark on continuous power: every persistent
+// write index gets its own crash run. Budget > 0 switches to seeded
+// sampling of that many points.
+func NewHealthExplorer(seed int64, budget int) *Explorer {
+	return &Explorer{
+		Build:     func() (*core.Framework, error) { return buildHealth(nil) },
+		Keys:      healthKeys,
+		ExactKeys: healthExactKeys,
+		Invariant: healthInvariant,
+		Seed:      seed,
+		Budget:    budget,
+	}
+}
+
+// NewHealthRadioCampaign builds the lossy-radio campaign: health benchmark
+// with remote monitors over a dropping, duplicating link. The invariant
+// relaxes sentCount's lower bound — retry backoff adds latency, and every
+// backoff wait can trip the maxDuration timeliness skip — but sample
+// counting must stay exact: delivery loss must degrade to local
+// evaluation, never lose or double-count an event.
+func NewHealthRadioCampaign(seed int64, runs int) *RadioCampaign {
+	return &RadioCampaign{
+		Build: func(link monitor.Link) (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				cfg.RemoteMonitors = true
+				cfg.RadioLink = link
+			})
+		},
+		Keys: healthKeys,
+		Invariant: func(ref, got Outcome) error {
+			if got.Outputs["tempCount"] != 10 {
+				return fmt.Errorf("tempCount = %v, want 10 (event lost or double-counted)", got.Outputs["tempCount"])
+			}
+			if avg := got.Outputs["avgTemp"]; avg < 36.4 || avg > 36.8 {
+				return fmt.Errorf("avgTemp = %v, want within [36.4, 36.8]", avg)
+			}
+			if sc := got.Outputs["sentCount"]; sc > 3 {
+				return fmt.Errorf("sentCount = %v, want at most 3", sc)
+			}
+			return nil
+		},
+		Runs:     runs,
+		Seed:     seed,
+		DropProb: 0.3,
+		DupProb:  0.2,
+	}
+}
+
+// NewHealthSensorCampaign builds the sensor-fault campaign: harmful faults
+// (a stuck or glitching thermistor) must trip the dpData range monitor on
+// calcAvg — visible as a pathCompletes decision and a clamped send count —
+// while a benign ripple must leave the run indistinguishable from
+// fault-free.
+func NewHealthSensorCampaign() *SensorCampaign {
+	detects := func(name string) func(got Outcome) error {
+		return func(got Outcome) error {
+			if !got.Completed {
+				return fmt.Errorf("%s: run did not complete", name)
+			}
+			if got.PathCompletes == 0 {
+				return fmt.Errorf("%s: dpData range monitor never fired (pathCompletes = 0)", name)
+			}
+			return nil
+		}
+	}
+	return &SensorCampaign{
+		Build: func(f SensorFault) (*core.Framework, error) {
+			return buildHealth(func(_ *core.Config, app *health.App) {
+				app.SenseTemp = f.Apply
+			})
+		},
+		Keys: healthKeys,
+		Cases: []SensorCase{
+			{Fault: StuckAt{Value: 40}, Expect: detects("stuck-at 40°C")},
+			{Fault: Spike{Delta: 20, Every: 3}, Expect: detects("20°C spike")},
+			{Fault: Dropout{Every: 2, Value: 0}, Expect: detects("dropout to 0°C")},
+			{Fault: Spike{Delta: 0.2, Every: 5}, Expect: func(got Outcome) error {
+				// Benign ripple: well inside [36, 38], must NOT trip the
+				// range monitor, and all three sends go out.
+				if !got.Completed {
+					return fmt.Errorf("benign ripple: run did not complete")
+				}
+				if got.PathCompletes != 0 {
+					return fmt.Errorf("benign ripple: false positive (pathCompletes = %d)", got.PathCompletes)
+				}
+				if sc := got.Outputs["sentCount"]; sc != 3 {
+					return fmt.Errorf("benign ripple: sentCount = %v, want 3", sc)
+				}
+				return nil
+			}},
+		},
+	}
+}
+
+// NewHealthFlipCampaign builds the NVM soft-error campaign: random single
+// bit flips into the application's persistent store mid-run. The oracle
+// here is weak by design — a flipped data bit legitimately changes outputs
+// — but the runtime must never crash uncontrolled.
+func NewHealthFlipCampaign(seed int64, runs int) *FlipCampaign {
+	return &FlipCampaign{
+		Build: func() (*core.Framework, error) { return buildHealth(nil) },
+		Keys:  healthKeys,
+		Owner: "app",
+		Runs:  runs,
+		Seed:  seed,
+	}
+}
+
+// NewHealthCampaign bundles all four fault families against the health
+// benchmark — the configuration `artemis-sim --chaos` runs. crashBudget
+// bounds the crash exploration (0 = exhaustive); radioRuns and flipRuns
+// size the seeded campaigns.
+func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int) *Campaign {
+	return &Campaign{
+		Seed:   seed,
+		Crash:  NewHealthExplorer(seed, crashBudget),
+		Radio:  NewHealthRadioCampaign(seed, radioRuns),
+		Sensor: NewHealthSensorCampaign(),
+		Flip:   NewHealthFlipCampaign(seed, flipRuns),
+	}
+}

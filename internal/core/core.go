@@ -57,6 +57,9 @@ const (
 	SupplyFixedDelay
 	// SupplyHarvested is the physical capacitor + harvester model.
 	SupplyHarvested
+	// SupplyBurst is the physical capacitor fed by a bursty two-state
+	// harvester (energy.BurstHarvester), deterministic given Seed.
+	SupplyBurst
 )
 
 // SupplyConfig describes the power source.
@@ -73,6 +76,13 @@ type SupplyConfig struct {
 	VOn          float64
 	VOff         float64
 	HarvestW     float64
+
+	// Burst parameters (SupplyBurst): mean on/off dwell times of the
+	// two-state harvester and the RNG seed that makes the burst schedule
+	// reproducible.
+	MeanOn  simclock.Duration
+	MeanOff simclock.Duration
+	Seed    int64
 }
 
 // Config describes one deployment.
@@ -116,6 +126,12 @@ type Config struct {
 	// RadioCost overrides the default BLE-class exchange cost when
 	// RemoteMonitors is set.
 	RadioCost *monitor.RadioCost
+	// RadioLink injects a radio channel model (loss, duplication) into the
+	// remote deployment; nil is a perfect link. Requires RemoteMonitors.
+	RadioLink monitor.Link
+	// RadioPolicy overrides the remote deployment's default retry/backoff
+	// schedule. Requires RemoteMonitors.
+	RadioPolicy *monitor.RetryPolicy
 
 	// BuildApp, when set, constructs the application against the
 	// framework's NVM — for apps whose graphs close over persistent
@@ -157,10 +173,11 @@ type Framework struct {
 	dev   *device.Device
 	store *task.Store
 
-	art  *artemis.Runtime
-	may  *mayfly.Runtime
-	mons *monitor.Set
-	res  *transform.Result
+	art    *artemis.Runtime
+	may    *mayfly.Runtime
+	mons   *monitor.Set
+	remote *monitor.Remote
+	res    *transform.Result
 }
 
 // New assembles a deployment.
@@ -238,7 +255,13 @@ func New(cfg Config) (*Framework, error) {
 			if cfg.RadioCost != nil {
 				cost = *cfg.RadioCost
 			}
-			deployed = monitor.NewRemote(mons, mcu, cost)
+			rem := monitor.NewRemote(mons, mcu, cost)
+			rem.SetLink(cfg.RadioLink)
+			if cfg.RadioPolicy != nil {
+				rem.SetRetryPolicy(*cfg.RadioPolicy)
+			}
+			f.remote = rem
+			deployed = rem
 		case cfg.ContinuationMonitors:
 			ts, err := monitor.NewThreadedSet(mem, mons)
 			if err != nil {
@@ -282,6 +305,17 @@ func buildSupply(sc SupplyConfig) (energy.Supply, error) {
 			return nil, err
 		}
 		return &energy.HarvestedSupply{Cap: cap, Harv: energy.ConstantHarvester(energy.Watts(sc.HarvestW))}, nil
+	case SupplyBurst:
+		cap, err := energy.NewCapacitor(sc.CapacitanceF, sc.VMax, sc.VOn, sc.VOff)
+		if err != nil {
+			return nil, err
+		}
+		harv, err := energy.NewBurstHarvester(energy.Watts(sc.HarvestW), sc.MeanOn, sc.MeanOff,
+			rand.New(rand.NewSource(sc.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		return &energy.HarvestedSupply{Cap: cap, Harv: harv}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown supply kind %d", int(sc.Kind))
 	}
@@ -295,6 +329,14 @@ func (f *Framework) MCU() *device.MCU { return f.mcu }
 
 // Monitors returns the ARTEMIS monitor set (nil for Mayfly).
 func (f *Framework) Monitors() *monitor.Set { return f.mons }
+
+// Artemis returns the ARTEMIS runtime (nil for Mayfly); fault-injection
+// harnesses read its control snapshot and decision stats.
+func (f *Framework) Artemis() *artemis.Runtime { return f.art }
+
+// Remote returns the remote monitor deployment, or nil when monitors run
+// on-device.
+func (f *Framework) Remote() *monitor.Remote { return f.remote }
 
 // CompiledIR returns the generated monitor program (nil for Mayfly); tools
 // print it for inspection.

@@ -23,6 +23,10 @@ type Profile struct {
 	// ActivePower is the MCU core power while executing.
 	ActivePower energy.Watts
 
+	// IdlePower is drawn while the MCU waits in a low-power mode (radio
+	// backoff, sensor settling). Zero models a free LPM sleep.
+	IdlePower energy.Watts
+
 	// FRAM access energy, charged per byte moved, on top of active power.
 	FRAMReadPerByte  energy.Joules
 	FRAMWritePerByte energy.Joules
@@ -36,7 +40,7 @@ func (p *Profile) Validate() error {
 	if p.ClockHz <= 0 {
 		return fmt.Errorf("device: profile %q has non-positive clock %g", p.Name, p.ClockHz)
 	}
-	if p.ActivePower < 0 || p.FRAMReadPerByte < 0 || p.FRAMWritePerByte < 0 {
+	if p.ActivePower < 0 || p.IdlePower < 0 || p.FRAMReadPerByte < 0 || p.FRAMWritePerByte < 0 {
 		return fmt.Errorf("device: profile %q has negative cost", p.Name)
 	}
 	for name, op := range p.Peripherals {
@@ -59,6 +63,7 @@ func MSP430FR5994() Profile {
 		Name:        "MSP430FR5994@1MHz",
 		ClockHz:     1e6,
 		ActivePower: 354e-6, // 118 µA/MHz · 3 V at 1 MHz
+		IdlePower:   2.1e-6, // ~0.7 µA LPM3 at 3 V
 		// FRAM accesses at 1 MHz are cache-less single-cycle; charge a small
 		// per-byte premium over core power.
 		FRAMReadPerByte:  energy.Joules(0.3e-9),

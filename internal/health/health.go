@@ -59,6 +59,11 @@ type App struct {
 	// centred on. The default 36.6 keeps avgTemp inside Figure 5's healthy
 	// range; set ≥ 38.5 to drive the dpData emergency (completePath).
 	BodyTemp float64
+	// SenseTemp, when non-nil, transforms each temperature sample before
+	// the task stores it: nominal is the fault-free reading and sample its
+	// zero-based index. Fault-injection harnesses wrap the sensor here
+	// (stuck-at, spike, dropout) without touching the task graph.
+	SenseTemp func(nominal float64, sample int) float64
 }
 
 // Keys returns the store slots the application needs.
@@ -84,6 +89,9 @@ func NewWithTemp(bodyTemp float64) *App {
 			// the configured temperature.
 			n := c.Get("tempCount")
 			sample := a.BodyTemp + 0.05*float64(int(n)%3-1)
+			if a.SenseTemp != nil {
+				sample = a.SenseTemp(sample, int(n))
+			}
 			c.Set("temp", sample)
 			c.Set("tempSum", c.Get("tempSum")+sample)
 			c.Set("tempCount", n+1)

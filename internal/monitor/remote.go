@@ -50,6 +50,44 @@ func DefaultRadioCost() RadioCost {
 	}
 }
 
+// Link models the radio channel between the host and the external
+// monitoring device, as seen by the retry loop. A nil Link is a perfect
+// channel; fault-injection harnesses supply lossy implementations.
+type Link interface {
+	// Exchange attempts the attempt-th (1-based) round-trip carrying the
+	// event with the given sequence number (0 for control exchanges such
+	// as path re-initialisation). It reports whether the exchange was
+	// delivered and how many duplicate deliveries the channel produced on
+	// top of the first — re-delivering the same sequence number must be
+	// absorbed by per-sequence idempotence on the receiving side.
+	Exchange(seq uint64, attempt int) (delivered bool, duplicates int)
+}
+
+// RetryPolicy bounds how hard the host tries to reach the external
+// monitoring device before degrading to local evaluation.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-transmissions after the first
+	// attempt. Zero means a single attempt.
+	MaxRetries int
+	// Backoff is the wait before the first re-transmission; each further
+	// re-transmission multiplies it by Multiplier (exponential backoff).
+	Backoff simclock.Duration
+	// Multiplier defaults to 2 when zero or less than 1.
+	Multiplier float64
+}
+
+// DefaultRetryPolicy retries three times with 5 ms → 10 ms → 20 ms
+// backoff — a BLE-scale schedule that keeps a lost event well under the
+// benchmark's 100 ms timeliness bounds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 5 * simclock.Millisecond, Multiplier: 2}
+}
+
+// localEvalCyclesPerMachine is the host-side cost of evaluating one
+// machine when an exchange degrades to local evaluation; it mirrors the
+// runtime's per-machine dispatch constant for on-device deployments.
+const localEvalCyclesPerMachine = 18
+
 // Remote deploys the monitor set on an external device: the host pays radio
 // costs per event instead of evaluation costs, and gains the modularity the
 // paper describes — monitors can be redeployed without touching the host
@@ -57,25 +95,103 @@ func DefaultRadioCost() RadioCost {
 // its own supply), so monitor state needs no host NVM; the wrapped Set
 // still persists state, modelling an external device that is itself
 // intermittent-safe.
+//
+// Radio exchanges are not assumed delivered: each one runs under a
+// RetryPolicy, and when every attempt is lost the event is evaluated
+// locally on the host instead of being dropped — the Degraded counter
+// records how often that fallback fired. Because the set is idempotent
+// per sequence number, retries and duplicated deliveries never
+// double-step a machine.
 type Remote struct {
-	set  *Set
-	mcu  *device.MCU
-	cost RadioCost
+	set    *Set
+	mcu    *device.MCU
+	cost   RadioCost
+	link   Link
+	policy RetryPolicy
+
+	retries    int
+	degraded   int
+	duplicates int
 }
 
 // NewRemote wraps a monitor set as an external deployment, charging radio
-// costs on the given host MCU.
+// costs on the given host MCU and assuming a perfect link with the default
+// retry policy. Use SetLink / SetRetryPolicy to inject channel faults.
 func NewRemote(set *Set, mcu *device.MCU, cost RadioCost) *Remote {
-	return &Remote{set: set, mcu: mcu, cost: cost}
+	return &Remote{set: set, mcu: mcu, cost: cost, policy: DefaultRetryPolicy()}
 }
 
-// Deliver implements Interface: transmit the event, evaluate remotely,
-// receive the verdict.
+// SetLink installs the radio channel model (nil = perfect link).
+func (r *Remote) SetLink(l Link) { r.link = l }
+
+// SetRetryPolicy replaces the retry/backoff schedule.
+func (r *Remote) SetRetryPolicy(p RetryPolicy) { r.policy = p }
+
+// Retries returns the number of re-transmissions performed so far.
+func (r *Remote) Retries() int { return r.retries }
+
+// Degraded returns how many exchanges exhausted their retries and fell
+// back to local evaluation.
+func (r *Remote) Degraded() int { return r.degraded }
+
+// Duplicates returns how many duplicated deliveries the channel produced
+// (each absorbed by sequence-number idempotence).
+func (r *Remote) Duplicates() int { return r.duplicates }
+
+// exchange runs the retry loop for one outbound transmission. It reports
+// whether the exchange was delivered and how many duplicates arrived.
+func (r *Remote) exchange(seq uint64) (bool, int) {
+	attempts := 1 + r.policy.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	mult := r.policy.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	backoff := r.policy.Backoff
+	for a := 1; a <= attempts; a++ {
+		r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
+		if r.link == nil {
+			return true, 0
+		}
+		delivered, dups := r.link.Exchange(seq, a)
+		if delivered {
+			r.duplicates += dups
+			return true, dups
+		}
+		if a < attempts {
+			r.retries++
+			if backoff > 0 {
+				r.mcu.Idle(backoff)
+				backoff = simclock.Duration(float64(backoff) * mult)
+			}
+		}
+	}
+	return false, 0
+}
+
+// Deliver implements Interface: transmit the event (with retries),
+// evaluate remotely, receive the verdict. On a dead link the event is
+// evaluated locally — monitoring degrades rather than silently losing
+// the event.
 func (r *Remote) Deliver(ev Event) ([]ir.Failure, error) {
-	r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
+	delivered, dups := r.exchange(ev.Seq)
+	if !delivered {
+		r.degraded++
+		r.mcu.Exec(int64(localEvalCyclesPerMachine * len(r.set.monitors)))
+		return r.set.Deliver(ev)
+	}
 	fs, err := r.set.Deliver(ev)
 	if err != nil {
 		return nil, err
+	}
+	// A duplicated notification re-delivers the same sequence number; the
+	// set recognises it and returns the stored verdict without stepping.
+	for i := 0; i < dups; i++ {
+		if _, err := r.set.Deliver(ev); err != nil {
+			return nil, err
+		}
 	}
 	r.mcu.Radio(r.cost.RxLatency, r.cost.RxEnergy)
 	return fs, nil
@@ -88,9 +204,12 @@ func (r *Remote) Reset() { r.set.Reset() }
 func (r *Remote) Rollback() { r.set.Rollback() }
 
 // ResetPath implements Interface; the re-initialisation command is another
-// radio exchange.
+// radio exchange, retried like any other. Re-initialisation is idempotent,
+// so a lost command is applied locally with the same effect.
 func (r *Remote) ResetPath(id int) {
-	r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
+	if delivered, _ := r.exchange(0); !delivered {
+		r.degraded++
+	}
 	r.set.ResetPath(id)
 }
 

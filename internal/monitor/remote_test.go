@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+func testMCU(t *testing.T, mem *nvm.Memory) *device.MCU {
+	t.Helper()
+	mcu, err := device.NewMCU(&simclock.Clock{}, mem, &energy.Continuous{}, device.MSP430FR5994())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mcu
+}
+
+// scriptedLink fails the first fails[seq] attempts of each sequence
+// number, then delivers with dup duplicates.
+type scriptedLink struct {
+	fails    map[uint64]int
+	dup      int
+	attempts []int // attempt numbers observed, in order
+}
+
+func (l *scriptedLink) Exchange(seq uint64, attempt int) (bool, int) {
+	l.attempts = append(l.attempts, attempt)
+	if l.fails[seq] > 0 {
+		l.fails[seq]--
+		return false, 0
+	}
+	return true, l.dup
+}
+
+// deadLink loses everything.
+type deadLink struct{ attempts int }
+
+func (l *deadLink) Exchange(uint64, int) (bool, int) { l.attempts++; return false, 0 }
+
+func TestRemoteRetriesThenDelivers(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	link := &scriptedLink{fails: map[uint64]int{1: 2}}
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+	rem.SetLink(link)
+
+	fs, err := rem.Deliver(startEv(1, "accel", 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("unexpected failures %v", fs)
+	}
+	if rem.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", rem.Retries())
+	}
+	if rem.Degraded() != 0 {
+		t.Fatalf("degraded = %d, want 0", rem.Degraded())
+	}
+	// Attempt numbers passed to the link are 1-based and increasing.
+	want := []int{1, 2, 3}
+	if len(link.attempts) != len(want) {
+		t.Fatalf("attempts = %v, want %v", link.attempts, want)
+	}
+	for i := range want {
+		if link.attempts[i] != want[i] {
+			t.Fatalf("attempts = %v, want %v", link.attempts, want)
+		}
+	}
+}
+
+func TestRemoteBackoffWaitsBetweenRetries(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+	rem.SetLink(&scriptedLink{fails: map[uint64]int{1: 2}})
+	rem.SetRetryPolicy(RetryPolicy{MaxRetries: 2, Backoff: 5 * simclock.Millisecond, Multiplier: 2})
+
+	before := mcu.Now()
+	if _, err := rem.Deliver(startEv(1, "accel", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := simclock.Duration(mcu.Now() - before)
+	// 3 transmissions at 3 ms, exponential backoff 5 ms + 10 ms, one
+	// verdict reception at 2 ms.
+	want := 3*DefaultRadioCost().TxLatency + 15*simclock.Millisecond + DefaultRadioCost().RxLatency
+	if elapsed != want {
+		t.Fatalf("elapsed %v, want %v (backoff not applied)", elapsed, want)
+	}
+}
+
+func TestRemoteDegradesToLocalOnDeadLink(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 2 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	link := &deadLink{}
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+	rem.SetLink(link)
+	rem.SetRetryPolicy(RetryPolicy{MaxRetries: 1, Backoff: simclock.Millisecond, Multiplier: 2})
+
+	// Local fallback still evaluates: the third start must trip maxTries
+	// exactly as an on-device set would.
+	for i := uint64(1); i <= 2; i++ {
+		fs, err := rem.Deliver(startEv(i, "accel", simclock.Duration(i)*simclock.Second, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 0 {
+			t.Fatalf("event %d: failures %v", i, fs)
+		}
+	}
+	fs, err := rem.Deliver(startEv(3, "accel", 10*simclock.Second, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("dead-link delivery lost monitor coverage: failures %v", fs)
+	}
+	if rem.Degraded() != 3 {
+		t.Fatalf("degraded = %d, want 3", rem.Degraded())
+	}
+	if link.attempts != 6 {
+		t.Fatalf("link attempts = %d, want 6 (2 per event)", link.attempts)
+	}
+}
+
+func TestRemoteDuplicateDeliveriesAreIdempotent(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+	rem.SetLink(&scriptedLink{dup: 2})
+
+	// Each event is duplicated twice by the channel; the per-sequence
+	// idempotence must absorb them, so maxTries still needs 4 distinct
+	// starts to fire — duplicates must not step the counter.
+	for i := uint64(1); i <= 3; i++ {
+		fs, err := rem.Deliver(startEv(i, "accel", simclock.Duration(i)*simclock.Second, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 0 {
+			t.Fatalf("event %d: premature failure %v (duplicates double-counted)", i, fs)
+		}
+	}
+	fs, err := rem.Deliver(startEv(4, "accel", 10*simclock.Second, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("fourth start should trip maxTries: %v", fs)
+	}
+	if rem.Duplicates() != 8 {
+		t.Fatalf("duplicates = %d, want 8 (2 per delivery)", rem.Duplicates())
+	}
+}
+
+func TestRemotePerfectLinkNeverRetries(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+
+	if _, err := rem.Deliver(startEv(1, "accel", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if rem.Retries() != 0 || rem.Degraded() != 0 || rem.Duplicates() != 0 {
+		t.Fatalf("perfect link produced retries=%d degraded=%d duplicates=%d",
+			rem.Retries(), rem.Degraded(), rem.Duplicates())
+	}
+}

@@ -50,6 +50,18 @@ type Memory struct {
 	// device's power-failure sentinel), leaving a torn multi-byte write.
 	crashAfter int
 	crashHook  func()
+
+	// writeCrashAfter counts down with every write *operation*; when it
+	// reaches zero writeCrashHook runs after that operation completes, so
+	// the memory holds exactly the first k writes of the run. Crash
+	// explorers schedule power failures at this granularity.
+	writeCrashAfter int
+	writeCrashHook  func()
+
+	// observer, when non-nil, runs after every completed write operation;
+	// crash explorers use it to fingerprint the persistent state at each
+	// potential failure point.
+	observer func()
 }
 
 // Allocation describes one region handed out by Alloc.
@@ -83,10 +95,31 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // SetCrashHook arranges for hook to run after n more bytes have been
 // written. Pass n <= 0 to disarm. The hook typically panics with a
 // power-failure sentinel so that tests can exercise torn writes.
+//
+// The hook is one-shot: both the countdown and the hook are cleared
+// *before* the hook is invoked, so writes performed by the hook itself or
+// by recovery code running after it cannot re-fire the same schedule. The
+// hook may call SetCrashHook again to arm a fresh schedule (double-crash
+// scenarios); exploration loops rely on a fired hook staying disarmed.
 func (m *Memory) SetCrashHook(n int, hook func()) {
 	m.crashAfter = n
 	m.crashHook = hook
 }
+
+// SetWriteCrashHook arranges for hook to run after n more write
+// *operations* have completed (a multi-byte Write counts once). Pass
+// n <= 0 to disarm. Like SetCrashHook the schedule is one-shot: it is
+// cleared before the hook runs. Crash explorers use this to enumerate
+// power failures at NVM-write granularity — after write k the memory
+// holds exactly the first k writes, torn nowhere.
+func (m *Memory) SetWriteCrashHook(n int, hook func()) {
+	m.writeCrashAfter = n
+	m.writeCrashHook = hook
+}
+
+// SetWriteObserver installs fn to run after every completed write
+// operation (nil uninstalls). Observers must not write to the memory.
+func (m *Memory) SetWriteObserver(fn func()) { m.observer = fn }
 
 // Reboot models a power-cycle as seen by the FRAM: all data is retained,
 // but the allocator restarts from zero because the next boot re-runs the
@@ -99,6 +132,8 @@ func (m *Memory) Reboot() {
 	m.allot = nil
 	m.crashAfter = 0
 	m.crashHook = nil
+	m.writeCrashAfter = 0
+	m.writeCrashHook = nil
 }
 
 // Alloc reserves size bytes for the given owner and variable name.
@@ -181,6 +216,17 @@ func (m *Memory) write(off int, p []byte) {
 			}
 		}
 	}
+	if m.writeCrashAfter > 0 {
+		m.writeCrashAfter--
+		if m.writeCrashAfter == 0 && m.writeCrashHook != nil {
+			hook := m.writeCrashHook
+			m.writeCrashHook = nil
+			hook()
+		}
+	}
+	if m.observer != nil {
+		m.observer()
+	}
 }
 
 // ownerAt resolves the owner of the allocation containing off, or "".
@@ -201,6 +247,37 @@ func (m *Memory) ownerAt(off int) string {
 		}
 	}
 	return ""
+}
+
+// FlipBit inverts one bit of the FRAM, modelling a radiation- or
+// disturbance-induced soft error. The flip bypasses the write path: it is
+// a fault, not a store, so it is invisible to the stats, wear accounting,
+// and crash hooks.
+func (m *Memory) FlipBit(off int, bit uint) {
+	if off < 0 || off >= len(m.data) {
+		panic(fmt.Sprintf("nvm: bit flip at %d outside memory of %d bytes", off, len(m.data)))
+	}
+	if bit > 7 {
+		panic(fmt.Sprintf("nvm: bit index %d out of range", bit))
+	}
+	m.data[off] ^= 1 << bit
+}
+
+// Hash returns an FNV-1a fingerprint of the entire persistent image.
+// Because recovery after a power failure depends only on FRAM contents
+// (all volatile state is lost), two crash points with equal hashes have
+// identical recovery behaviour — the pruning rule crash explorers use.
+func (m *Memory) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range m.data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // WearOf returns the total bytes written into one owner's allocations —
@@ -246,6 +323,44 @@ func (r *Region) Write(off int, p []byte) {
 	r.check(off, len(p))
 	r.mem.write(r.off+off, p)
 }
+
+// Put16 persists a little-endian uint16 at region offset off. Like every
+// multi-byte FRAM store it is not atomic: a crash hook can tear it after
+// any byte, which is why multi-variable consistency goes through Committed.
+func (r *Region) Put16(off int, v uint16) {
+	r.check(off, 2)
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	r.mem.write(r.off+off, buf[:])
+}
+
+// Get16 reads a little-endian uint16 at region offset off.
+func (r *Region) Get16(off int) uint16 {
+	r.check(off, 2)
+	return binary.LittleEndian.Uint16(r.mem.read(r.off+off, 2))
+}
+
+// Put32 persists a little-endian uint32 at region offset off (not atomic;
+// see Put16).
+func (r *Region) Put32(off int, v uint32) {
+	r.check(off, 4)
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	r.mem.write(r.off+off, buf[:])
+}
+
+// Get32 reads a little-endian uint32 at region offset off.
+func (r *Region) Get32(off int) uint32 {
+	r.check(off, 4)
+	return binary.LittleEndian.Uint32(r.mem.read(r.off+off, 4))
+}
+
+// Put64 persists a little-endian uint64 at region offset off (not atomic;
+// see Put16). It is the named-width spelling of WriteUint64.
+func (r *Region) Put64(off int, v uint64) { r.WriteUint64(off, v) }
+
+// Get64 reads a little-endian uint64 at region offset off.
+func (r *Region) Get64(off int) uint64 { return r.ReadUint64(off) }
 
 // ReadUint64 reads a little-endian uint64 at region offset off.
 func (r *Region) ReadUint64(off int) uint64 {
@@ -417,6 +532,7 @@ type Committed struct {
 	sel   *Region
 	stage []byte
 	size  int
+	group *CommitGroup
 }
 
 // AllocCommitted reserves a committed region of the given payload size.
@@ -502,12 +618,81 @@ func (c *Committed) WriteUint64(off int, v uint64) {
 }
 
 // Commit atomically persists the staged image: the shadow buffer receives
-// the full image, then the selector byte flips.
+// the full image, then the selector byte flips. On a grouped region (see
+// CommitGroup) the whole group commits together — every member's staged
+// image becomes durable in the same selector flip.
 func (c *Committed) Commit() {
-	c.shadow().Write(0, c.stage)
-	if c.sel.ByteAt(0) == 0 {
-		c.sel.SetByteAt(0, 1)
-	} else {
-		c.sel.SetByteAt(0, 0)
+	if c.group != nil {
+		c.group.Commit()
+		return
 	}
+	c.shadow().Write(0, c.stage)
+	flipSel(c.sel)
+}
+
+func flipSel(sel *Region) {
+	if sel.ByteAt(0) == 0 {
+		sel.SetByteAt(0, 1)
+	} else {
+		sel.SetByteAt(0, 0)
+	}
+}
+
+// CommitGroup couples several Committed regions to one shared selector
+// byte, making their commits a single atomic event: every member's staged
+// image is written to its shadow buffer, then the one shared selector
+// flips. A power failure anywhere in the sequence leaves all members on
+// their old images; after the flip, all are on their new ones — there is
+// no instant at which one member is committed and another is not.
+//
+// Intermittent runtimes need this at task boundaries: committing the task
+// outputs and the control-state advance through separate selectors opens
+// a window where the outputs are durable but the control state still says
+// the task must run, so a power failure inside the window re-executes the
+// task against its own committed outputs — double-counting any
+// self-incrementing state. Write-granularity crash exploration
+// (internal/chaos) finds exactly this window.
+//
+// Because Commit on any member persists every member's staged image,
+// callers must maintain the invariant that whenever one member commits,
+// all members' stages hold the values that should become durable. The
+// runtime's protocol satisfies this: control-state commits happen only at
+// points where the store's stage equals its committed image or holds the
+// finished task's outputs.
+type CommitGroup struct {
+	sel     *Region
+	members []*Committed
+}
+
+// NewCommitGroup allocates the shared selector for a commit group.
+func NewCommitGroup(m *Memory, owner, name string) (*CommitGroup, error) {
+	sel, err := m.Alloc(owner, name+".sel", 1)
+	if err != nil {
+		return nil, err
+	}
+	return &CommitGroup{sel: sel}, nil
+}
+
+// Commit atomically persists every member's staged image with one
+// selector flip.
+func (g *CommitGroup) Commit() {
+	for _, c := range g.members {
+		c.shadow().Write(0, c.stage)
+	}
+	flipSel(g.sel)
+}
+
+// Join moves c onto the group's shared selector. The region's committed
+// image is first duplicated into both of its buffers, so the image reads
+// identically under either selector value; from then on c commits with
+// the group (and c.Commit() commits the whole group). Join is meant for
+// construction time, before any uncommitted writes are staged.
+func (c *Committed) Join(g *CommitGroup) {
+	img := make([]byte, c.size)
+	c.current().Read(0, img)
+	c.a.Write(0, img)
+	c.b.Write(0, img)
+	c.sel = g.sel
+	c.group = g
+	g.members = append(g.members, c)
 }

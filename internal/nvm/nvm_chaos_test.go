@@ -1,0 +1,276 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegionPut16Put32Put64RoundTrip(t *testing.T) {
+	m := New(256)
+	r := m.MustAlloc("t", "x", 14)
+	r.Put16(0, 0xBEEF)
+	r.Put32(2, 0xDEADBEEF)
+	r.Put64(6, 0x0123456789ABCDEF)
+	if got := r.Get16(0); got != 0xBEEF {
+		t.Fatalf("Get16 = %#x", got)
+	}
+	if got := r.Get32(2); got != 0xDEADBEEF {
+		t.Fatalf("Get32 = %#x", got)
+	}
+	if got := r.Get64(6); got != 0x0123456789ABCDEF {
+		t.Fatalf("Get64 = %#x", got)
+	}
+}
+
+// Raw multi-byte region writes ARE tearable: a crash after any interior
+// byte boundary leaves a mixture of old and new bytes. This is the failure
+// mode the Committed layer exists to mask.
+func TestRegionPutsTearAtEveryByteBoundary(t *testing.T) {
+	cases := []struct {
+		name  string
+		width int
+		put   func(r *Region)
+	}{
+		{"Put16", 2, func(r *Region) { r.Put16(0, 0x5555) }},
+		{"Put32", 4, func(r *Region) { r.Put32(0, 0x55555555) }},
+		{"Put64", 8, func(r *Region) { r.Put64(0, 0x5555555555555555) }},
+	}
+	for _, tc := range cases {
+		for point := 1; point < tc.width; point++ {
+			m := New(64)
+			r := m.MustAlloc("t", "x", tc.width)
+			old := bytes.Repeat([]byte{0xAA}, tc.width)
+			r.Write(0, old)
+			m.SetCrashHook(point, func() { panic(crash{}) })
+			if !crashing(func() { tc.put(r) }) {
+				t.Fatalf("%s: crash hook did not fire at byte %d", tc.name, point)
+			}
+			got := make([]byte, tc.width)
+			r.Read(0, got)
+			want := append(bytes.Repeat([]byte{0x55}, point), bytes.Repeat([]byte{0xAA}, tc.width-point)...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s crash at byte %d: image %x, want torn %x", tc.name, point, got, want)
+			}
+		}
+	}
+}
+
+// The same multi-byte values routed through a Committed region are crash
+// atomic: a power failure after every possible byte of the commit sequence
+// exposes the complete old value or the complete new value, never a
+// mixture.
+func TestCommittedPutsAtomicAtEveryByteBoundary(t *testing.T) {
+	cases := []struct {
+		name       string
+		width      int
+		stage      func(c *Committed)
+		read       func(c *Committed) uint64
+		oldV, newV uint64
+	}{
+		{"16", 2,
+			func(c *Committed) {
+				var b [2]byte
+				b[0], b[1] = 0x55, 0x55
+				c.Write(0, b[:])
+			},
+			func(c *Committed) uint64 {
+				var b [2]byte
+				c.Read(0, b[:])
+				return uint64(b[0]) | uint64(b[1])<<8
+			},
+			0xAAAA, 0x5555},
+		{"64", 8,
+			func(c *Committed) { c.WriteUint64(0, 0x5555555555555555) },
+			func(c *Committed) uint64 { return c.ReadUint64(0) },
+			0xAAAAAAAAAAAAAAAA, 0x5555555555555555},
+	}
+	for _, tc := range cases {
+		// A commit writes width payload bytes plus one selector byte.
+		for point := 1; point <= tc.width+1; point++ {
+			m := New(256)
+			c := MustAllocCommitted(m, "t", "x", tc.width)
+			c.Write(0, bytes.Repeat([]byte{0xAA}, tc.width))
+			c.Commit()
+
+			tc.stage(c)
+			m.SetCrashHook(point, func() { panic(crash{}) })
+			crashed := crashing(func() { c.Commit() })
+			m.SetCrashHook(0, nil)
+
+			c.Reopen()
+			switch got := tc.read(c); got {
+			case tc.oldV:
+				if !crashed {
+					t.Fatalf("width %s point %d: commit completed but old value visible", tc.name, point)
+				}
+			case tc.newV:
+				// Crash after the selector flip, or no crash.
+			default:
+				t.Fatalf("width %s crash point %d: torn value %#x", tc.name, point, got)
+			}
+		}
+	}
+}
+
+func TestWriteCrashHookFiresAtExactWriteOp(t *testing.T) {
+	m := New(64)
+	r := m.MustAlloc("t", "x", 8)
+	fired := 0
+	m.SetWriteCrashHook(3, func() { fired++ })
+	for i := 0; i < 5; i++ {
+		r.SetByteAt(0, byte(i))
+	}
+	if fired != 1 {
+		t.Fatalf("write crash hook fired %d times, want exactly 1", fired)
+	}
+}
+
+// The one-shot contract: the schedule is cleared before the hook runs, so
+// writes performed during recovery — or a hook re-arming a fresh schedule —
+// never double-fire the original one.
+func TestWriteCrashHookOneShotAndRearm(t *testing.T) {
+	m := New(64)
+	r := m.MustAlloc("t", "x", 8)
+	var firstFired, secondFired int
+	m.SetWriteCrashHook(1, func() {
+		firstFired++
+		// Writing from inside the hook must not re-enter it.
+		r.SetByteAt(1, 0xEE)
+		// Re-arm a fresh schedule: fires after 2 more write ops.
+		m.SetWriteCrashHook(2, func() { secondFired++ })
+	})
+	r.SetByteAt(0, 1) // fires first hook; its interior write counts toward the re-armed schedule
+	r.SetByteAt(0, 2) // completes the re-armed schedule
+	r.SetByteAt(0, 3)
+	if firstFired != 1 {
+		t.Fatalf("first hook fired %d times, want 1", firstFired)
+	}
+	if secondFired != 1 {
+		t.Fatalf("re-armed hook fired %d times, want 1", secondFired)
+	}
+}
+
+func TestRebootClearsCrashSchedules(t *testing.T) {
+	m := New(64)
+	r := m.MustAlloc("t", "x", 8)
+	m.SetCrashHook(100, func() { t.Fatal("byte hook fired after reboot") })
+	m.SetWriteCrashHook(1, func() { t.Fatal("write hook fired after reboot") })
+	m.Reboot()
+	r.SetByteAt(0, 1)
+}
+
+func TestFlipBitTogglesWithoutAccounting(t *testing.T) {
+	m := New(64)
+	r := m.MustAlloc("t", "x", 1)
+	r.SetByteAt(0, 0b0000_1000)
+	before := m.Stats()
+	m.FlipBit(r.off, 3)
+	if got := r.ByteAt(0); got != 0 {
+		t.Fatalf("bit 3 not cleared: %#b", got)
+	}
+	m.FlipBit(r.off, 3)
+	if got := r.ByteAt(0); got != 0b0000_1000 {
+		t.Fatalf("bit 3 not restored: %#b", got)
+	}
+	if after := m.Stats(); after.Writes != before.Writes {
+		t.Fatalf("FlipBit counted as %d write ops — soft errors must bypass the energy model", after.Writes-before.Writes)
+	}
+}
+
+func TestHashDistinguishesAndMatchesStates(t *testing.T) {
+	m1, m2 := New(128), New(128)
+	r1 := m1.MustAlloc("t", "x", 8)
+	r2 := m2.MustAlloc("t", "x", 8)
+	r1.Put64(0, 42)
+	r2.Put64(0, 42)
+	if m1.Hash() != m2.Hash() {
+		t.Fatal("identical images hash differently")
+	}
+	r2.Put64(0, 43)
+	if m1.Hash() == m2.Hash() {
+		t.Fatal("different images hash equal")
+	}
+}
+
+// A commit group couples its members: a crash anywhere inside the group
+// commit leaves every member on its old image or every member on its new
+// image — the invariant the runtime's task boundary is built on.
+func TestCommitGroupAtomicAtEveryCrashPoint(t *testing.T) {
+	const size = 8
+	// Group commit writes 2*size shadow bytes plus one selector byte.
+	for point := 1; point <= 2*size+1; point++ {
+		m := New(1024)
+		g, err := NewCommitGroup(m, "t", "grp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := MustAllocCommitted(m, "t", "one", size)
+		c2 := MustAllocCommitted(m, "t", "two", size)
+		c1.Join(g)
+		c2.Join(g)
+		c1.WriteUint64(0, 100)
+		c2.WriteUint64(0, 200)
+		g.Commit()
+
+		c1.WriteUint64(0, 101)
+		c2.WriteUint64(0, 201)
+		m.SetCrashHook(point, func() { panic(crash{}) })
+		crashing(func() { g.Commit() })
+		m.SetCrashHook(0, nil)
+
+		c1.Reopen()
+		c2.Reopen()
+		v1, v2 := c1.ReadUint64(0), c2.ReadUint64(0)
+		oldBoth := v1 == 100 && v2 == 200
+		newBoth := v1 == 101 && v2 == 201
+		if !oldBoth && !newBoth {
+			t.Fatalf("crash point %d: group torn across members: %d / %d", point, v1, v2)
+		}
+	}
+}
+
+// Committing through any one grouped member commits the whole group.
+func TestCommitGroupMemberCommitCommitsAll(t *testing.T) {
+	m := New(1024)
+	g, err := NewCommitGroup(m, "t", "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := MustAllocCommitted(m, "t", "one", 8)
+	c2 := MustAllocCommitted(m, "t", "two", 8)
+	c1.Join(g)
+	c2.Join(g)
+	c1.WriteUint64(0, 1)
+	c2.WriteUint64(0, 2)
+	c1.Commit() // member commit = group commit
+	c1.Reopen()
+	c2.Reopen()
+	if c1.ReadUint64(0) != 1 || c2.ReadUint64(0) != 2 {
+		t.Fatalf("member commit did not persist the group: %d / %d", c1.ReadUint64(0), c2.ReadUint64(0))
+	}
+}
+
+// Join preserves the region's committed image regardless of the group
+// selector's current value.
+func TestJoinPreservesCommittedImage(t *testing.T) {
+	m := New(1024)
+	g, err := NewCommitGroup(m, "t", "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the group selector once so it disagrees with the region's
+	// private selector at join time.
+	c0 := MustAllocCommitted(m, "t", "zero", 8)
+	c0.Join(g)
+	c0.WriteUint64(0, 7)
+	g.Commit()
+
+	c := MustAllocCommitted(m, "t", "late", 8)
+	c.WriteUint64(0, 55)
+	c.Commit()
+	c.Join(g)
+	c.Reopen()
+	if got := c.ReadUint64(0); got != 55 {
+		t.Fatalf("committed image lost across Join: %d", got)
+	}
+}

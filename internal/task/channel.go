@@ -112,6 +112,11 @@ func (ch *Channel) Items() []float64 {
 	return out
 }
 
+// Join couples the channel's commits to a shared-selector group, like
+// Store.Join: queue mutations then persist atomically with the runtime's
+// control-state advance at the task boundary.
+func (ch *Channel) Join(g *nvm.CommitGroup) { ch.c.Join(g) }
+
 // Commit atomically persists all staged mutations (task boundary).
 func (ch *Channel) Commit() { ch.c.Commit() }
 

@@ -211,6 +211,12 @@ func (s *Store) Set(key string, v float64) {
 // Add stages an increment.
 func (s *Store) Add(key string, dv float64) { s.Set(key, s.Get(key)+dv) }
 
+// Join couples the store's commits to a shared-selector group (see
+// nvm.CommitGroup): the ARTEMIS runtime joins the store, channels, and its
+// own control region so a task's outputs and the control-state advance
+// become durable in one atomic flip.
+func (s *Store) Join(g *nvm.CommitGroup) { s.c.Join(g) }
+
 // Commit atomically persists all staged slots. The runtime calls this at
 // task completion.
 func (s *Store) Commit() { s.c.Commit() }
