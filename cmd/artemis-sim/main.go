@@ -11,6 +11,8 @@
 //	artemis-sim -app camera -rounds 6    # the Camaroptera-style camera node
 //	artemis-sim -burst 40ms -seed 7      # bursty harvester, reproducible schedule
 //	artemis-sim -chaos -seed 42          # fault-injection campaign (internal/chaos)
+//	artemis-sim -integrity -charging 6m  # self-healing NVM layer: CRC guards + scrub + repair
+//	artemis-sim -watchdog-limit 5 -charging 1s -budget 5   # break starved-task boot loops
 package main
 
 import (
@@ -59,13 +61,42 @@ func run(args []string, w io.Writer) error {
 		runChaos = fs.Bool("chaos", false, "run the fault-injection campaign against the health benchmark")
 		crashPts = fs.Int("chaos-crash-points", 0, "crash points to sample in the chaos campaign (0 = exhaustive)")
 		faultRun = fs.Int("chaos-fault-runs", 5, "seeded runs per radio / bit-flip fault family")
+		useInteg = fs.Bool("integrity", false, "enable the self-healing NVM integrity layer (CRC guards + scrubber + repair)")
+		scrubStr = fs.String("scrub-interval", "1s", "integrity scrub period (e.g. 500ms); 0 disables the background scrubber")
+		watchdog = fs.Int("watchdog-limit", 0, "consecutive boots dying at the same task before the watchdog fails the path; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Reject nonsensical combinations up front, before any simulation runs.
+	if *watchdog < 0 {
+		return fmt.Errorf("-watchdog-limit %d: must be >= 0", *watchdog)
+	}
+	scrub, err := simclock.ParseDuration(*scrubStr)
+	if err != nil {
+		return fmt.Errorf("-scrub-interval %q: %v", *scrubStr, err)
+	}
+	if scrub < 0 {
+		return fmt.Errorf("-scrub-interval %q: must not be negative", *scrubStr)
+	}
+	if (*useInteg || *watchdog > 0) && *system == "mayfly" {
+		return fmt.Errorf("-integrity and -watchdog-limit require -system artemis (the Mayfly baseline has no self-healing layer)")
+	}
 	if *runChaos {
-		rep, err := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun).Run()
+		switch {
+		case *burst != "" || *burstOff != "" || *charging != "" || *harvest > 0:
+			return fmt.Errorf("-chaos defines its own supply models; drop -burst/-burst-off/-charging/-harvest")
+		case *appName != "health":
+			return fmt.Errorf("-chaos targets the health benchmark; -app %s is not supported", *appName)
+		case *system != "artemis":
+			return fmt.Errorf("-chaos targets the ARTEMIS runtime; -system %s is not supported", *system)
+		case *crashPts < 0:
+			return fmt.Errorf("-chaos-crash-points %d: must be >= 0 (0 = exhaustive)", *crashPts)
+		case *faultRun <= 0:
+			return fmt.Errorf("-chaos-fault-runs %d: must be positive", *faultRun)
+		}
+		rep, err := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun, *useInteg).Run()
 		if err != nil {
 			return err
 		}
@@ -77,9 +108,18 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := core.Config{
-		Rounds:     *rounds,
-		MaxReboots: *reboots,
-		Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
+		Rounds:        *rounds,
+		MaxReboots:    *reboots,
+		Supply:        core.SupplyConfig{Kind: core.SupplyContinuous},
+		Integrity:     *useInteg,
+		WatchdogLimit: *watchdog,
+	}
+	if *useInteg {
+		if scrub == 0 {
+			cfg.ScrubInterval = -1 // boot-time verification only
+		} else {
+			cfg.ScrubInterval = scrub
+		}
 	}
 	var outputKeys []string
 	switch *appName {
@@ -198,6 +238,9 @@ func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []
 	if st := rep.ArtemisStats; st != nil {
 		fmt.Fprintf(w, "decisions:  restarts=%d(path)/%d(task) skips=%d(path)/%d(task) complete=%d\n",
 			st.PathRestarts, st.TaskRestarts, st.PathSkips, st.TaskSkips, st.PathComplete)
+		if st.WatchdogTrips > 0 {
+			fmt.Fprintf(w, "            watchdog trips ×%d\n", st.WatchdogTrips)
+		}
 		for _, a := range []action.Action{action.RestartPath, action.SkipPath, action.SkipTask, action.CompletePath} {
 			if n := st.Decisions[a]; n > 0 {
 				fmt.Fprintf(w, "            %v ×%d\n", a, n)
@@ -206,6 +249,11 @@ func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []
 	}
 	if st := rep.MayflyStats; st != nil {
 		fmt.Fprintf(w, "decisions:  pathRestarts=%d taskRuns=%d\n", st.PathRestarts, st.TaskRuns)
+	}
+	if ist := rep.Integrity; ist != nil {
+		fmt.Fprintf(w, "integrity:  %d guards, %d checks (%d scrubs, %d boot verifies), %d corruptions -> %d restored, %d reset, %d quarantined\n",
+			ist.Guards, ist.Checks, ist.Scrubs, ist.BootVerifies,
+			ist.Corruptions, ist.ShadowRestores, ist.Resets, ist.Quarantines)
 	}
 	fmt.Fprintf(w, "fram:       ")
 	for i, owner := range sortedOwners(rep.Footprints) {

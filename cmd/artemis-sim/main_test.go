@@ -156,3 +156,68 @@ func TestBurstSupplySeeded(t *testing.T) {
 		t.Errorf("burst run did not complete:\n%s", a)
 	}
 }
+
+func TestRejectedFlagCombos(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-chaos", "-burst", "40ms"}, "its own supply"},
+		{[]string{"-chaos", "-charging", "6m"}, "its own supply"},
+		{[]string{"-chaos", "-harvest", "5e-6"}, "its own supply"},
+		{[]string{"-chaos", "-app", "camera"}, "health benchmark"},
+		{[]string{"-chaos", "-system", "mayfly"}, "ARTEMIS runtime"},
+		{[]string{"-chaos", "-chaos-crash-points", "-1"}, "must be >= 0"},
+		{[]string{"-chaos", "-chaos-fault-runs", "0"}, "must be positive"},
+		{[]string{"-watchdog-limit", "-3"}, "must be >= 0"},
+		{[]string{"-integrity", "-scrub-interval", "-5s"}, "-scrub-interval"},
+		{[]string{"-integrity", "-scrub-interval", "soon"}, "-scrub-interval"},
+		{[]string{"-integrity", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-watchdog-limit", "5", "-system", "mayfly"}, "-system artemis"},
+	}
+	for _, c := range cases {
+		err := run(c.args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v: accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestIntegrityFlagSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-integrity", "-scrub-interval", "100ms", "-charging", "6m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"completed", "integrity:", "guards", "0 corruptions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWatchdogFlagTerminatesStarvedRun(t *testing.T) {
+	// 5 µJ boots cover the boot sequence but never bodyTemp's ADC sample —
+	// without the watchdog this boot-loops into NON-TERMINATION.
+	var base bytes.Buffer
+	if err := run([]string{"-charging", "1s", "-budget", "5", "-reboots", "80"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(base.String(), "NON-TERMINATION") {
+		t.Fatalf("starved baseline did not livelock:\n%s", base.String())
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-charging", "1s", "-budget", "5", "-reboots", "300", "-watchdog-limit", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"completed", "watchdog trips"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func run(args []string, w io.Writer) error {
 		wear     = fs.Bool("wear", false, "include the per-component FRAM wear report")
 		physical = fs.Bool("physical", false, "include the Figure-12 sweep on the physical capacitor+harvester model")
 		ext      = fs.Bool("extension", false, "include the §4.2.2 minEnergy extension comparison")
+		recovery = fs.Bool("recovery", false, "include the fault-recovery evaluation (bit flips, scrub overhead, watchdog)")
 		csv      = fs.Bool("csv", false, "emit comma-separated values instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +127,13 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		show(experiments.TableExtension(rows))
+	}
+	if all || *recovery {
+		res, err := experiments.Recovery(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.RenderRecovery(res))
 	}
 	return nil
 }

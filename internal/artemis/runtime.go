@@ -34,6 +34,7 @@ import (
 
 	"github.com/tinysystems/artemis-go/internal/action"
 	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/integrity"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/monitor"
 	"github.com/tinysystems/artemis-go/internal/nvm"
@@ -66,6 +67,12 @@ const (
 // case because no power failure occurs.
 var ErrStuck = errors.New("artemis: no progress within the step budget")
 
+// ErrCorrupt reports that a value loaded from the persistent control region
+// failed validation (a soft error flipped bits the integrity layer could
+// not repair, or integrity is disabled). It is a typed, recoverable error
+// — never a panic — so fault campaigns can classify it as a detection.
+var ErrCorrupt = errors.New("artemis: persistent control state corrupted")
+
 // Config assembles a runtime.
 type Config struct {
 	MCU      *device.MCU
@@ -95,6 +102,22 @@ type Config struct {
 	// runtime commits at every task boundary and rolls back on reboot,
 	// extending the store's atomicity to them.
 	Extras []task.Persistent
+
+	// Integrity, when non-nil, guards the control region with a CRC
+	// committed in the same selector flip, verifies all guards at boot and
+	// on the scrub schedule, and lets the runtime escalate quarantined
+	// regions through the normal action pipeline.
+	Integrity *integrity.Manager
+
+	// WatchdogLimit, when positive, arms the forward-progress watchdog: a
+	// persistent per-position consecutive-boot counter (committed in the
+	// same atomic group as the control state). After more than this many
+	// boots die at the same (round, path, task) position, the runtime
+	// escalates a skipPath through monitor action arbitration instead of
+	// boot-looping forever — the runtime-level complement to maxAttempt,
+	// catching livelock the reboot budget documents as uncatchable (e.g.
+	// usable energy below the task's cost).
+	WatchdogLimit int
 }
 
 // Stats counts runtime decisions over the application run. They live in
@@ -112,7 +135,10 @@ type Stats struct {
 	// Recoveries counts boots that found an undelivered event in flight,
 	// i.e. reboots whose recovery re-entered monitor finalisation.
 	Recoveries int
-	Decisions  map[action.Action]int
+	// WatchdogTrips counts forward-progress escalations: boot loops broken
+	// by the consecutive-crash counter exceeding Config.WatchdogLimit.
+	WatchdogTrips int
+	Decisions     map[action.Action]int
 }
 
 // Runtime executes one application under ARTEMIS monitoring.
@@ -141,8 +167,20 @@ const (
 	wEvDelivered
 	wEvEnergy
 	wFinishTime
-	wWords // count
+	wWatchPos   // watchdog: marker bit | round | path | task of the last boot
+	wWatchCount // watchdog: consecutive boots at that position
+	wWords      // count
 )
+
+// ControlWords is the control-region size in 8-byte words, exported so the
+// memory accounting (Table 2) derives the runtime's staging footprint from
+// the real layout instead of a hardcoded constant.
+const ControlWords = wWords
+
+// watchPosValid marks wWatchPos as holding a real position: it
+// disambiguates the initial all-zero word from a legitimate boot at
+// (round 0, path 0, task 0).
+const watchPosValid = uint64(1) << 62
 
 // controlState is the committed runtime control region with a staged
 // volatile view.
@@ -212,6 +250,11 @@ func New(cfg Config) (*Runtime, error) {
 			r.loose = append(r.loose, e)
 		}
 	}
+	// Guard the control region last, after every member has joined, so the
+	// CRC is primed over the group's final committed image.
+	if cfg.Integrity != nil {
+		cfg.Integrity.Protect("runtime/control", c, integrity.ClassControl, nil)
+	}
 	return r, nil
 }
 
@@ -247,9 +290,31 @@ func (r *Runtime) Boot() error {
 		}
 	}
 
+	// Verify and repair every guarded region before trusting any of it,
+	// then validate the (possibly repaired) control words, then account
+	// this boot against the forward-progress watchdog.
+	if r.cfg.Integrity != nil {
+		r.cfg.Integrity.BootVerify(mcu.Now())
+		if err := r.drainQuarantine(); err != nil {
+			return err
+		}
+	}
+	if err := r.validateControl(); err != nil {
+		return err
+	}
+	if err := r.watchdog(); err != nil {
+		return err
+	}
+
 	for steps := 0; ; steps++ {
 		if steps > r.cfg.MaxSteps {
 			return ErrStuck
+		}
+		if r.cfg.Integrity != nil {
+			r.cfg.Integrity.Tick(mcu.Now())
+			if err := r.drainQuarantine(); err != nil {
+				return err
+			}
 		}
 		mcu.Exec(checkTaskCycles)
 		done, err := r.step()
@@ -260,6 +325,141 @@ func (r *Runtime) Boot() error {
 			return nil
 		}
 	}
+}
+
+// validateControl bounds-checks every control word an indexing operation
+// trusts. It reads the volatile stage (what the runtime will actually use),
+// costs nothing persistent, and turns a corrupted load into a typed error
+// instead of an index-out-of-range panic.
+func (r *Runtime) validateControl() error {
+	s := r.state
+	if s.getB(wAppDone) {
+		return nil
+	}
+	paths := r.cfg.Graph.Paths
+	pi := s.getI(wPathIdx)
+	if pi < 0 || int(pi) >= len(paths) {
+		return fmt.Errorf("%w: path index %d out of range [0,%d)", ErrCorrupt, pi, len(paths))
+	}
+	ti := s.getI(wTaskIdx)
+	if ti < 0 || int(ti) >= len(paths[pi].Tasks) {
+		return fmt.Errorf("%w: task index %d out of range in path %d", ErrCorrupt, ti, paths[pi].ID)
+	}
+	if st := s.getI(wStatus); st != statusReady && st != statusFinished {
+		return fmt.Errorf("%w: task status %d", ErrCorrupt, st)
+	}
+	if rd := s.getI(wRound); rd < 0 || rd >= int64(r.cfg.Rounds) {
+		return fmt.Errorf("%w: round %d out of range [0,%d)", ErrCorrupt, rd, r.cfg.Rounds)
+	}
+	return nil
+}
+
+// watchdog accounts one boot against the forward-progress counter. The
+// position and count commit in the same atomic group as the control state,
+// so the counter can never disagree with the position it is counting.
+func (r *Runtime) watchdog() error {
+	if r.cfg.WatchdogLimit <= 0 {
+		return nil
+	}
+	s := r.state
+	if s.getB(wAppDone) {
+		return nil
+	}
+	pos := watchPosValid |
+		uint64(s.getI(wRound))<<40 | uint64(s.getI(wPathIdx))<<20 | uint64(s.getI(wTaskIdx))
+	if s.get(wWatchPos) != pos {
+		// Progress since the last boot: restart the count here.
+		s.set(wWatchPos, pos)
+		s.set(wWatchCount, 1)
+		s.commit()
+		return nil
+	}
+	n := s.get(wWatchCount) + 1
+	if n > uint64(r.cfg.WatchdogLimit) {
+		return r.escalateWatchdog()
+	}
+	s.set(wWatchCount, n)
+	s.commit()
+	return nil
+}
+
+// escalateWatchdog breaks a boot loop: more than WatchdogLimit consecutive
+// boots died at the same position, so the position is treated as an onFail
+// event and routed through the normal monitor action arbitration — the
+// same pipeline a maxAttempt violation takes — rather than retried forever.
+func (r *Runtime) escalateWatchdog() error {
+	s := r.state
+	r.stats.WatchdogTrips++
+	s.set(wWatchPos, 0)
+	s.set(wWatchCount, 0)
+	if s.getB(wCompleteMode) {
+		// Unmonitored completion cannot take actions; end the path.
+		r.finishCompleteMode()
+		return nil
+	}
+	pathID := r.currentPath().ID
+	dec := monitor.Decide([]ir.Failure{{
+		Machine: "watchdog",
+		Action:  action.SkipPath,
+		Path:    pathID,
+	}}, pathID)
+	r.stats.Decisions[dec.Action]++
+	if r.cfg.OnDecision != nil {
+		r.cfg.OnDecision(monitor.Event{
+			Seq: s.get(wEvSeq),
+			Event: ir.Event{
+				Kind: ir.EvStart,
+				Task: r.currentTask().Name,
+				Time: r.cfg.MCU.Now(),
+				Path: pathID,
+			},
+		}, dec)
+	}
+	r.stats.PathSkips++
+	r.skipPath(pathID)
+	return nil
+}
+
+// drainQuarantine escalates every guard the integrity layer gave up on:
+// unrecoverable control state fails the run with a typed error; anything
+// else fails the current path through the normal action pipeline.
+func (r *Runtime) drainQuarantine() error {
+	for {
+		g := r.cfg.Integrity.TakeQuarantined()
+		if g == nil {
+			return nil
+		}
+		if err := r.escalateQuarantine(g); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *Runtime) escalateQuarantine(g *integrity.Guard) error {
+	if g.Class() == integrity.ClassControl {
+		return fmt.Errorf("%w: guard %s quarantined with no usable shadow", ErrCorrupt, g.Name())
+	}
+	s := r.state
+	if s.getB(wAppDone) {
+		return nil
+	}
+	if err := r.validateControl(); err != nil {
+		return err
+	}
+	if s.getB(wCompleteMode) {
+		r.finishCompleteMode()
+		return nil
+	}
+	pathID := r.currentPath().ID
+	dec := monitor.Decide([]ir.Failure{{
+		Machine: "integrity:" + g.Name(),
+		Action:  action.SkipPath,
+		Path:    pathID,
+	}}, pathID)
+	r.stats.Decisions[dec.Action]++
+	r.stats.PathSkips++
+	r.skipPath(pathID)
+	return nil
 }
 
 func (r *Runtime) hardReset() {
@@ -288,6 +488,11 @@ func (r *Runtime) step() (bool, error) {
 	s := r.state
 	if s.getB(wAppDone) {
 		return true, nil
+	}
+	// A scrub-pass repair (shadow restore, monitor reset) can rewrite the
+	// stage between steps, so every step revalidates before indexing.
+	if err := r.validateControl(); err != nil {
+		return false, err
 	}
 	if s.getB(wCompleteMode) {
 		return r.stepUnmonitored()
@@ -596,12 +801,13 @@ type Snapshot struct {
 	Delivered bool
 }
 
-// Snapshot reads the current control state.
+// Snapshot reads the current control state. Out-of-range indices (possible
+// only under fault injection) report PathID -1 and an empty TaskName rather
+// than panicking, so crash explorers can capture any terminal state.
 func (r *Runtime) Snapshot() Snapshot {
 	s := r.state
-	return Snapshot{
-		PathID:    r.currentPath().ID,
-		TaskName:  r.currentTask().Name,
+	snap := Snapshot{
+		PathID:    -1,
 		Status:    s.getI(wStatus),
 		Round:     s.getI(wRound),
 		Done:      s.getB(wAppDone),
@@ -609,4 +815,12 @@ func (r *Runtime) Snapshot() Snapshot {
 		EventSeq:  s.get(wEvSeq),
 		Delivered: s.getB(wEvDelivered),
 	}
+	if pi := s.getI(wPathIdx); pi >= 0 && int(pi) < len(r.cfg.Graph.Paths) {
+		p := r.cfg.Graph.Paths[pi]
+		snap.PathID = p.ID
+		if ti := s.getI(wTaskIdx); ti >= 0 && int(ti) < len(p.Tasks) {
+			snap.TaskName = p.Tasks[ti].Name
+		}
+	}
+	return snap
 }

@@ -1,10 +1,13 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"github.com/tinysystems/artemis-go/internal/artemis"
 	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/integrity"
 	"github.com/tinysystems/artemis-go/internal/monitor"
 )
 
@@ -230,9 +233,11 @@ func (c *SensorCampaign) Run() (*SensorReport, error) {
 
 // FlipCampaign injects NVM soft errors (bit flips) mid-run and classifies
 // the outcomes. A flip may be masked (outputs identical), degrade data
-// (outputs differ but the run completes), or be detected (the runtime
-// reports an error / non-termination); an uncontrolled panic counts as a
-// campaign failure.
+// (outputs differ but the run completes), be recovered (the integrity
+// layer repaired it and the run finished with reference-identical outputs),
+// be detected (the runtime reports a typed error / non-termination), or be
+// detected-unrecoverable (quarantined: flagged but beyond repair); an
+// uncontrolled panic counts as a campaign failure.
 type FlipCampaign struct {
 	Build func() (*core.Framework, error)
 	Keys  []string
@@ -241,23 +246,41 @@ type FlipCampaign struct {
 	// Runs is how many flip runs to perform (default 5).
 	Runs int
 	Seed int64
+	// WithIntegrity records that Build enables the self-healing layer, so
+	// the report says which configuration it measured.
+	WithIntegrity bool
 }
 
 // FlipReport summarises a bit-flip campaign.
 type FlipReport struct {
-	Runs      int
-	Masked    int // outputs identical to the reference
-	Degraded  int // completed with diverging outputs
-	Detected  int // runtime reported an error or non-termination
-	Crashed   int // uncontrolled panic — a robustness failure
-	CrashLogs []string
+	Runs          int
+	Masked        int // outputs identical to the reference, no repair needed
+	Recovered     int // integrity layer repaired the flip; run completed
+	Degraded      int // completed with diverging outputs
+	Detected      int // runtime reported an error or non-termination
+	Unrecoverable int // detected but beyond repair (quarantine / ErrCorrupt)
+	Crashed       int // uncontrolled panic — a robustness failure
+	CrashLogs     []string
+	// WithIntegrity echoes the campaign configuration.
+	WithIntegrity bool
+	// Integrity aggregates the self-healing layer's counters across runs.
+	Integrity integrity.Stats
 }
 
 // String renders the campaign summary deterministically.
 func (r *FlipReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "bitflip:    %d flips: %d masked, %d degraded, %d detected, %d crashed\n",
-		r.Runs, r.Masked, r.Degraded, r.Detected, r.Crashed)
+	mode := "integrity off"
+	if r.WithIntegrity {
+		mode = "integrity on"
+	}
+	fmt.Fprintf(&b, "bitflip:    %d flips (%s): %d masked, %d recovered, %d degraded, %d detected, %d unrecoverable, %d crashed\n",
+		r.Runs, mode, r.Masked, r.Recovered, r.Degraded, r.Detected, r.Unrecoverable, r.Crashed)
+	if r.WithIntegrity {
+		fmt.Fprintf(&b, "            repairs: %d checks, %d corruptions, %d shadow restores, %d resets, %d quarantines\n",
+			r.Integrity.Checks, r.Integrity.Corruptions, r.Integrity.ShadowRestores,
+			r.Integrity.Resets, r.Integrity.Quarantines)
+	}
 	for _, l := range r.CrashLogs {
 		fmt.Fprintf(&b, "            CRASH %s\n", l)
 	}
@@ -288,7 +311,7 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 	ref := capture(f, rep, c.Keys)
 
 	r := rng(c.Seed)
-	out := &FlipReport{Runs: runs}
+	out := &FlipReport{Runs: runs, WithIntegrity: c.WithIntegrity}
 	for i := 0; i < runs; i++ {
 		point := 1 + r.Intn(writes)
 		flipSeed := r.Int63()
@@ -310,12 +333,24 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 		})
 		rep, err := c.attempt(f)
 		mem.SetWriteObserver(nil)
+		var ist integrity.Stats
+		if rep != nil && rep.Integrity != nil {
+			ist = *rep.Integrity
+		}
+		out.Integrity.Add(ist)
 		switch {
 		case rep == nil: // panicked
 			out.Crashed++
 			out.CrashLogs = append(out.CrashLogs, fmt.Sprintf("%s: %v", where, err))
+		case ist.Quarantines > 0 || errors.Is(err, artemis.ErrCorrupt):
+			// Flagged, but beyond repair: the layer detected the corruption
+			// and failed safe instead of computing on bad data.
+			out.Unrecoverable++
 		case err != nil || rep.NonTerminated || !rep.Completed:
 			out.Detected++
+		case ist.ShadowRestores+ist.Resets > 0:
+			// The layer repaired the flip and the run finished normally.
+			out.Recovered++
 		default:
 			got := capture(f, rep, c.Keys)
 			same := true

@@ -140,17 +140,18 @@ func TestHealthSensorCampaign(t *testing.T) {
 	}
 }
 
-// Bit flips into the app's store may change data but must never crash the
-// runtime uncontrolled.
+// Bit flips anywhere in FRAM may change data but must never crash the
+// runtime uncontrolled — even with the integrity layer off, corrupted
+// control loads surface as typed errors (satellite hardening).
 func TestHealthFlipCampaign(t *testing.T) {
-	rep, err := NewHealthFlipCampaign(5, 8).Run()
+	rep, err := NewHealthFlipCampaign(5, 8, false).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Crashed != 0 {
 		t.Errorf("%d uncontrolled crashes: %v", rep.Crashed, rep.CrashLogs)
 	}
-	if got := rep.Masked + rep.Degraded + rep.Detected + rep.Crashed; got != rep.Runs {
+	if got := rep.Masked + rep.Recovered + rep.Degraded + rep.Detected + rep.Unrecoverable + rep.Crashed; got != rep.Runs {
 		t.Errorf("outcome classes sum to %d, want %d", got, rep.Runs)
 	}
 }
@@ -159,7 +160,7 @@ func TestHealthFlipCampaign(t *testing.T) {
 // property the CLI's --chaos mode relies on.
 func TestCampaignReportDeterministic(t *testing.T) {
 	run := func() string {
-		rep, err := NewHealthCampaign(42, 60, 3, 3).Run()
+		rep, err := NewHealthCampaign(42, 60, 3, 3, false).Run()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/simclock"
 )
 
 // This file wires the chaos engine to the paper's health benchmark — the
@@ -152,30 +153,82 @@ func NewHealthSensorCampaign() *SensorCampaign {
 	}
 }
 
+// withIntegrityConfig enables the self-healing layer on a health
+// deployment: guards on every persistent surface, a fast scrub schedule
+// (so mid-run corruption is found within the run), and the forward-progress
+// watchdog.
+func withIntegrityConfig(cfg *core.Config) {
+	cfg.Integrity = true
+	cfg.ScrubInterval = 50 * simclock.Millisecond
+	cfg.WatchdogLimit = 8
+}
+
 // NewHealthFlipCampaign builds the NVM soft-error campaign: random single
-// bit flips into the application's persistent store mid-run. The oracle
-// here is weak by design — a flipped data bit legitimately changes outputs
-// — but the runtime must never crash uncontrolled.
-func NewHealthFlipCampaign(seed int64, runs int) *FlipCampaign {
+// bit flips into any owner's persistent allocations mid-run, on an
+// intermittent supply — a flipped FRAM bit only becomes visible when a
+// reboot reloads the committed image, so the run must actually reboot. The
+// runtime must never crash uncontrolled, with or without the integrity
+// layer; with it, flips that land in a committed image are repaired from
+// the shadow (Recovered) or flagged beyond repair (Unrecoverable).
+func NewHealthFlipCampaign(seed int64, runs int, withIntegrity bool) *FlipCampaign {
 	return &FlipCampaign{
-		Build: func() (*core.Framework, error) { return buildHealth(nil) },
-		Keys:  healthKeys,
-		Owner: "app",
-		Runs:  runs,
-		Seed:  seed,
+		Build: func() (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				cfg.Supply = core.SupplyConfig{
+					Kind:     core.SupplyFixedDelay,
+					BudgetUJ: 800,
+					Delay:    simclock.Second,
+				}
+				if withIntegrity {
+					withIntegrityConfig(cfg)
+				}
+			})
+		},
+		Keys:          healthKeys,
+		Owner:         "",
+		Runs:          runs,
+		Seed:          seed,
+		WithIntegrity: withIntegrity,
+	}
+}
+
+// NewHealthIntegrityExplorer is the exhaustive crash explorer with the
+// self-healing layer enabled: every guard CRC commits in the same selector
+// flip as its data, so a power failure after any single write must leave
+// guard and data consistent — all four oracles must stay as clean as the
+// unguarded sweep.
+func NewHealthIntegrityExplorer(seed int64, budget int) *Explorer {
+	return &Explorer{
+		Build: func() (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				cfg.Integrity = true
+				cfg.ScrubInterval = 100 * simclock.Millisecond
+				cfg.WatchdogLimit = 8
+			})
+		},
+		Keys:      healthKeys,
+		ExactKeys: healthExactKeys,
+		Invariant: healthInvariant,
+		Seed:      seed,
+		Budget:    budget,
 	}
 }
 
 // NewHealthCampaign bundles all four fault families against the health
 // benchmark — the configuration `artemis-sim --chaos` runs. crashBudget
 // bounds the crash exploration (0 = exhaustive); radioRuns and flipRuns
-// size the seeded campaigns.
-func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int) *Campaign {
+// size the seeded campaigns. withIntegrity runs the crash sweep and the
+// flip campaign with the self-healing layer enabled.
+func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withIntegrity bool) *Campaign {
+	crash := NewHealthExplorer(seed, crashBudget)
+	if withIntegrity {
+		crash = NewHealthIntegrityExplorer(seed, crashBudget)
+	}
 	return &Campaign{
 		Seed:   seed,
-		Crash:  NewHealthExplorer(seed, crashBudget),
+		Crash:  crash,
 		Radio:  NewHealthRadioCampaign(seed, radioRuns),
 		Sensor: NewHealthSensorCampaign(),
-		Flip:   NewHealthFlipCampaign(seed, flipRuns),
+		Flip:   NewHealthFlipCampaign(seed, flipRuns, withIntegrity),
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/artemis"
 	"github.com/tinysystems/artemis-go/internal/device"
 	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/integrity"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
 	"github.com/tinysystems/artemis-go/internal/monitor"
@@ -146,6 +147,21 @@ type Config struct {
 	ClockDriftPPM     float64
 	ClockOffJitterPPM float64
 	ClockSeed         int64
+
+	// Integrity enables the self-healing NVM layer (ARTEMIS only): CRC
+	// guards over the control region, store, channels, and monitor state,
+	// verified at boot and re-verified by the scrubber every ScrubInterval
+	// of simulated time (default 1 s; the guards' costs are charged to
+	// their own component).
+	Integrity bool
+	// ScrubInterval overrides the scrub period; 0 means the 1 s default,
+	// negative disables the scrubber (boot verification still runs).
+	ScrubInterval simclock.Duration
+	// WatchdogLimit arms the runtime's forward-progress watchdog (ARTEMIS
+	// only): after more than this many consecutive boots die at the same
+	// task, the path is failed through action arbitration instead of
+	// boot-looping. 0 disables the watchdog.
+	WatchdogLimit int
 }
 
 // Report summarises one application run.
@@ -164,6 +180,9 @@ type Report struct {
 	// ArtemisStats / MayflyStats expose the runtime's decision counters.
 	ArtemisStats *artemis.Stats
 	MayflyStats  *mayfly.Stats
+	// Integrity reports the self-healing layer's activity (nil when the
+	// layer is disabled).
+	Integrity *integrity.Stats
 }
 
 // Framework is an assembled deployment ready to run.
@@ -178,6 +197,7 @@ type Framework struct {
 	mons   *monitor.Set
 	remote *monitor.Remote
 	res    *transform.Result
+	integ  *integrity.Manager
 }
 
 // New assembles a deployment.
@@ -232,6 +252,24 @@ func New(cfg Config) (*Framework, error) {
 		dev:   &device.Device{MCU: mcu, MaxReboots: cfg.MaxReboots},
 		store: store,
 	}
+	if cfg.WatchdogLimit < 0 {
+		return nil, fmt.Errorf("core: WatchdogLimit must be >= 0, got %d", cfg.WatchdogLimit)
+	}
+	if (cfg.Integrity || cfg.WatchdogLimit > 0) && cfg.System != Artemis {
+		return nil, errors.New("core: Integrity and WatchdogLimit require the ARTEMIS runtime")
+	}
+	var integ *integrity.Manager
+	if cfg.Integrity {
+		scrub := cfg.ScrubInterval
+		switch {
+		case scrub == 0:
+			scrub = simclock.Second
+		case scrub < 0:
+			scrub = 0 // boot verification only
+		}
+		integ = integrity.NewManager(mem, mcu, scrub)
+		f.integ = integ
+	}
 	switch cfg.System {
 	case Artemis:
 		s, err := spec.Parse(cfg.SpecSource)
@@ -272,12 +310,26 @@ func New(cfg Config) (*Framework, error) {
 		rt, err := artemis.New(artemis.Config{
 			MCU: mcu, Graph: cfg.Graph, Store: store, Monitors: deployed,
 			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps, OnDecision: cfg.OnDecision,
-			Extras: extras,
+			Extras: extras, Integrity: integ, WatchdogLimit: cfg.WatchdogLimit,
 		})
 		if err != nil {
 			return nil, err
 		}
 		f.art, f.mons, f.res = rt, mons, res
+		if integ != nil {
+			// The runtime guarded its control region during construction
+			// (after all commit-group joins); wrap the remaining persistent
+			// surfaces. Registration order is deterministic.
+			integ.Protect("app/store", store.Backing(), integrity.ClassAppData, nil)
+			for i, e := range extras {
+				if b, ok := e.(interface{ Backing() *nvm.Committed }); ok {
+					integ.Protect(fmt.Sprintf("app/extra%d", i), b.Backing(), integrity.ClassAppData, nil)
+				}
+			}
+			for _, m := range mons.Monitors() {
+				integ.Protect("monitor/"+m.Machine().Name, m.Backing(), integrity.ClassMonitor, m.Reset)
+			}
+		}
 	case Mayfly:
 		rt, err := mayfly.New(mayfly.Config{
 			MCU: mcu, Graph: cfg.Graph, Store: store, Constraints: cfg.Constraints,
@@ -338,6 +390,9 @@ func (f *Framework) Artemis() *artemis.Runtime { return f.art }
 // on-device.
 func (f *Framework) Remote() *monitor.Remote { return f.remote }
 
+// Integrity returns the self-healing layer's manager, or nil when disabled.
+func (f *Framework) Integrity() *integrity.Manager { return f.integ }
+
 // CompiledIR returns the generated monitor program (nil for Mayfly); tools
 // print it for inspection.
 func (f *Framework) CompiledIR() *ir.Program {
@@ -367,9 +422,10 @@ func (f *Framework) Run() (*Report, error) {
 		System:    f.cfg.System,
 		RunResult: res,
 		Breakdown: map[device.Component]device.Usage{
-			device.CompApp:     f.mcu.UsageOf(device.CompApp),
-			device.CompRuntime: f.mcu.UsageOf(device.CompRuntime),
-			device.CompMonitor: f.mcu.UsageOf(device.CompMonitor),
+			device.CompApp:       f.mcu.UsageOf(device.CompApp),
+			device.CompRuntime:   f.mcu.UsageOf(device.CompRuntime),
+			device.CompMonitor:   f.mcu.UsageOf(device.CompMonitor),
+			device.CompIntegrity: f.mcu.UsageOf(device.CompIntegrity),
 		},
 		Footprints: map[string]int{},
 		Wear:       map[string]int64{},
@@ -385,6 +441,10 @@ func (f *Framework) Run() (*Report, error) {
 	if f.may != nil {
 		st := f.may.Stats()
 		rep.MayflyStats = &st
+	}
+	if f.integ != nil {
+		st := f.integ.Stats()
+		rep.Integrity = &st
 	}
 	if err != nil {
 		if errors.Is(err, device.ErrNonTermination) ||

@@ -188,8 +188,8 @@ func TestTable2Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d, want 3", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
 	}
 	byComp := map[string]Table2Row{}
 	for _, r := range rows {
@@ -212,6 +212,16 @@ func TestTable2Shape(t *testing.T) {
 	}
 	if mon.FRAM <= art.FRAM {
 		t.Errorf("monitor FRAM %d <= runtime %d", mon.FRAM, art.FRAM)
+	}
+	// The optional integrity layer must stay a small add-on: per guarded
+	// region it persists one double-buffered CRC, well under what the
+	// monitors themselves need.
+	integ := byComp["ARTEMIS integrity guards (optional)"]
+	if integ.FRAM <= 0 || integ.FRAM >= mon.FRAM {
+		t.Errorf("integrity FRAM %d, want positive and below monitor %d", integ.FRAM, mon.FRAM)
+	}
+	if integ.RAM <= 0 {
+		t.Errorf("integrity RAM %d, want positive", integ.RAM)
 	}
 	if out := RenderTable2(rows); !strings.Contains(out, "FRAM") {
 		t.Errorf("render incomplete:\n%s", out)
@@ -335,5 +345,50 @@ func TestExtensionShape(t *testing.T) {
 	}
 	if out := RenderExtension(rows); !strings.Contains(out, "aware skips") {
 		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestRecoveryShape(t *testing.T) {
+	res, err := Recovery(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither campaign may crash the runtime uncontrolled; the guarded one
+	// must actually repair something and the baseline must not (it has no
+	// repair machinery to credit).
+	if res.Baseline.Crashed != 0 || res.Guarded.Crashed != 0 {
+		t.Errorf("uncontrolled crashes: baseline %d, guarded %d", res.Baseline.Crashed, res.Guarded.Crashed)
+	}
+	if res.Baseline.Recovered != 0 {
+		t.Errorf("baseline reports %d recoveries with the layer off", res.Baseline.Recovered)
+	}
+	if res.Guarded.Recovered == 0 {
+		t.Errorf("guarded campaign repaired nothing:\n%s", res.Guarded.String())
+	}
+	// The scrub schedule must cost something — and not dominate the run.
+	if res.ScrubChecks == 0 {
+		t.Error("clean guarded run performed no CRC checks")
+	}
+	if res.ScrubEnergyPct <= 0 || res.ScrubEnergyPct > 10 {
+		t.Errorf("scrub energy %.2f%%, want within (0, 10]", res.ScrubEnergyPct)
+	}
+	if res.GuardFRAM <= 0 {
+		t.Errorf("guard FRAM %d, want positive", res.GuardFRAM)
+	}
+	// The livelock demo: seed non-terminates, watchdog terminates.
+	if !res.Starved.NonTerminated {
+		t.Errorf("starved baseline terminated: %+v", res.Starved)
+	}
+	if !res.Rescued.Completed || res.Rescued.NonTerminated {
+		t.Errorf("watchdog run did not complete: %+v", res.Rescued)
+	}
+	if res.WatchdogTrips == 0 {
+		t.Error("watchdog never tripped")
+	}
+	out := RenderRecovery(res)
+	for _, want := range []string{"scrub:", "watchdog", "non-terminated", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
 	}
 }

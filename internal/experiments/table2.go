@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"github.com/tinysystems/artemis-go/internal/artemis"
 	"github.com/tinysystems/artemis-go/internal/codegen"
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/health"
@@ -43,6 +44,12 @@ func Table2(o Options) ([]Table2Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("table 2 (Mayfly): %w", err)
 	}
+	intRep, _, err := runHealth(core.Artemis, continuous(), o, func(cfg *core.Config) {
+		cfg.Integrity = true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table 2 (integrity): %w", err)
+	}
 
 	res, err := health.New().Compile()
 	if err != nil {
@@ -72,8 +79,27 @@ func Table2(o Options) ([]Table2Row, error) {
 			RAM:       stagingBytes(artRep, "monitor"),
 			FRAM:      artRep.Footprints["monitor"],
 		},
+		{
+			// The optional self-healing layer (off by default): one
+			// double-buffered 8-byte CRC per guarded region, plus two
+			// watchdog words already counted in the runtime's control
+			// region above.
+			Component: "ARTEMIS integrity guards (optional)",
+			Text:      sourceBytes("integrity/integrity.go"),
+			RAM:       guardCount(intRep) * 8,
+			FRAM:      intRep.Footprints["integrity"],
+		},
 	}
 	return rows, nil
+}
+
+// guardCount reports how many regions the integrity layer guarded; each
+// guard keeps one 8-byte CRC staging buffer in SRAM.
+func guardCount(rep *core.Report) int {
+	if rep.Integrity == nil {
+		return 0
+	}
+	return rep.Integrity.Guards
 }
 
 // stagingBytes estimates a component's volatile working set: each committed
@@ -91,8 +117,9 @@ func stagingBytes(rep *core.Report, owner string) int {
 		// Derivable exactly: total = 2·stage + 1 per machine.
 		return (rep.Footprints[owner] - machineCount(rep)) / 2
 	case "runtime":
-		// One committed control region (13 words = 104 B staged) + initDone.
-		return 104
+		// One committed control region + initDone; derive from the runtime's
+		// layout constant so watchdog words stay counted.
+		return artemis.ControlWords * 8
 	case "mayfly":
 		// One committed control region (4 words = 32 B staged); endTime and
 		// collected slots are plain Vars with no staging.

@@ -73,6 +73,11 @@ func (m *Monitor) Reinit() { m.env.reset(false) }
 // Rollback discards uncommitted staging after a reboot.
 func (m *Monitor) Rollback() { m.env.rollback() }
 
+// Backing exposes the monitor's committed region so an integrity guard can
+// wrap it; Reset is the matching recovery callback (the initial state is
+// safe by construction — the FSM re-arms on the next startTask).
+func (m *Monitor) Backing() *nvm.Committed { return m.env.c }
+
 // State returns the current state name, for inspection and tests.
 func (m *Monitor) State() string {
 	i := m.env.State()

@@ -533,6 +533,13 @@ type Committed struct {
 	stage []byte
 	size  int
 	group *CommitGroup
+
+	// preCommit, when non-nil, runs at the start of every commit involving
+	// this region — before any shadow-buffer write, whether the commit is
+	// private or group-wide. Integrity guards use it to stage a checksum of
+	// the payload into a sibling region of the same group, so guard metadata
+	// becomes durable in the same selector flip as the data it covers.
+	preCommit func()
 }
 
 // AllocCommitted reserves a committed region of the given payload size.
@@ -566,6 +573,14 @@ func MustAllocCommitted(m *Memory, owner, name string, size int) *Committed {
 // Size returns the payload size in bytes.
 func (c *Committed) Size() int { return c.size }
 
+// Group returns the commit group this region joined, or nil.
+func (c *Committed) Group() *CommitGroup { return c.group }
+
+// SetPreCommit installs fn to run at the start of every commit of this
+// region (private or group-wide), before any shadow write. See the field
+// documentation on Committed.
+func (c *Committed) SetPreCommit(fn func()) { c.preCommit = fn }
+
 func (c *Committed) current() *Region {
 	if c.sel.ByteAt(0) == 0 {
 		return c.a
@@ -585,6 +600,40 @@ func (c *Committed) shadow() *Region {
 // modifications" means in the task model.
 func (c *Committed) Reopen() {
 	c.current().Read(0, c.stage)
+}
+
+// ReadCommitted copies the last committed image (not the stage) into p,
+// going through the charged FRAM read path — verification passes pay for
+// the bytes they inspect. len(p) must not exceed the payload size.
+func (c *Committed) ReadCommitted(p []byte) {
+	if len(p) > c.size {
+		panic(fmt.Sprintf("nvm: committed-image read of %d bytes out of size %d", len(p), c.size))
+	}
+	c.current().Read(0, p)
+}
+
+// ReadShadow copies the previous committed image (the shadow buffer) into
+// p through the charged FRAM read path. Valid only after at least one
+// commit has written the shadow; callers verifying it with a checksum
+// treat a never-written shadow as failing verification.
+func (c *Committed) ReadShadow(p []byte) {
+	if len(p) > c.size {
+		panic(fmt.Sprintf("nvm: shadow-image read of %d bytes out of size %d", len(p), c.size))
+	}
+	c.shadow().Read(0, p)
+}
+
+// InitImages writes p into both buffers and the stage, establishing a
+// committed image without a selector flip. Construction-time only: derived
+// regions (e.g. a checksum over another region's initial image) use it to
+// agree with their source before the first real commit.
+func (c *Committed) InitImages(p []byte) {
+	if len(p) != c.size {
+		panic(fmt.Sprintf("nvm: InitImages of %d bytes into size %d", len(p), c.size))
+	}
+	c.a.Write(0, p)
+	c.b.Write(0, p)
+	copy(c.stage, p)
 }
 
 // Read copies staged bytes (committed image plus any uncommitted writes).
@@ -625,6 +674,9 @@ func (c *Committed) Commit() {
 	if c.group != nil {
 		c.group.Commit()
 		return
+	}
+	if c.preCommit != nil {
+		c.preCommit()
 	}
 	c.shadow().Write(0, c.stage)
 	flipSel(c.sel)
@@ -673,14 +725,45 @@ func NewCommitGroup(m *Memory, owner, name string) (*CommitGroup, error) {
 	return &CommitGroup{sel: sel}, nil
 }
 
+// MustNewCommitGroup is NewCommitGroup that panics on allocation failure.
+func MustNewCommitGroup(m *Memory, owner, name string) *CommitGroup {
+	g, err := NewCommitGroup(m, owner, name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // Commit atomically persists every member's staged image with one
-// selector flip.
+// selector flip. Every member's preCommit hook runs before any shadow
+// write, so hooks that derive one member's stage from another's (checksum
+// guards) see all application staging finished and their output lands in
+// the same flip.
 func (g *CommitGroup) Commit() {
+	for _, c := range g.members {
+		if c.preCommit != nil {
+			c.preCommit()
+		}
+	}
 	for _, c := range g.members {
 		c.shadow().Write(0, c.stage)
 	}
 	flipSel(g.sel)
 }
+
+// Revert flips the shared selector back without writing any shadow: every
+// member atomically returns to its previous committed image (the one the
+// last Commit replaced). Callers must Reopen each member afterwards to
+// reload stages. Integrity recovery uses this as the shadow-restore
+// policy; it is only sound when the shadow images themselves verify, since
+// a crash mid-commit can leave shadows torn.
+func (g *CommitGroup) Revert() {
+	flipSel(g.sel)
+}
+
+// Members returns the regions coupled to this group's selector, in join
+// order.
+func (g *CommitGroup) Members() []*Committed { return g.members }
 
 // Join moves c onto the group's shared selector. The region's committed
 // image is first duplicated into both of its buffers, so the image reads

@@ -274,3 +274,56 @@ func TestJoinPreservesCommittedImage(t *testing.T) {
 		t.Fatalf("committed image lost across Join: %d", got)
 	}
 }
+
+// Var.Set is a raw eight-byte store and shares the tearing behaviour of
+// Region.Put64: a crash after any interior byte leaves a mixed image. The
+// doc comment on Var promises exactly this — multi-variable consistency
+// must go through Committed.
+func TestVarSetTearsAtEveryByteBoundary(t *testing.T) {
+	for point := 1; point < 8; point++ {
+		m := New(64)
+		v := MustAllocVar[uint64](m, "t", "x")
+		v.Set(0xAAAAAAAAAAAAAAAA)
+		m.SetCrashHook(point, func() { panic(crash{}) })
+		if !crashing(func() { v.Set(0x5555555555555555) }) {
+			t.Fatalf("crash hook did not fire at byte %d", point)
+		}
+		got := v.Get()
+		if got == 0xAAAAAAAAAAAAAAAA || got == 0x5555555555555555 {
+			t.Fatalf("crash at byte %d: image %#x not torn — the crash landed outside the store", point, got)
+		}
+		// The torn image must be the little-endian prefix of the new value
+		// over the old one: new bytes up to the crash point, old after.
+		want := uint64(0)
+		for i := 0; i < 8; i++ {
+			b := byte(0xAA)
+			if i < point {
+				b = 0x55
+			}
+			want |= uint64(b) << (8 * i)
+		}
+		if got != want {
+			t.Fatalf("crash at byte %d: image %#x, want torn %#x", point, got, want)
+		}
+	}
+}
+
+// SetByteAt is a single-byte store: it either happens entirely or not at
+// all. A crash scheduled on the write itself fires before the byte lands;
+// one scheduled later never exposes a partial image, because there is none.
+func TestSetByteAtAtomic(t *testing.T) {
+	m := New(64)
+	r := m.MustAlloc("t", "x", 1)
+	r.SetByteAt(0, 0xAA)
+	m.SetCrashHook(1, func() { panic(crash{}) })
+	if !crashing(func() { r.SetByteAt(0, 0x55) }) {
+		t.Fatal("crash hook did not fire on the byte store")
+	}
+	// The crash hook fires after the byte is durable (power dies at the end
+	// of the store): the image must hold exactly the new byte — the old one
+	// is equally legal on real hardware but this simulator defines
+	// byte-granularity durability, and the explorer's oracles rely on it.
+	if got := r.ByteAt(0); got != 0x55 {
+		t.Fatalf("single-byte store not durable across crash: %#x", got)
+	}
+}

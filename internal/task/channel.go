@@ -46,12 +46,34 @@ func NewChannel(mem *nvm.Memory, owner, name string, capacity int) (*Channel, er
 func (ch *Channel) word(i int) uint64       { return ch.c.ReadUint64(i * 8) }
 func (ch *Channel) setWord(i int, v uint64) { ch.c.WriteUint64(i*8, v) }
 
+// head returns the head index clamped into [0, cap): a bit-flipped head
+// word degrades to wrong data, never to an index-out-of-range panic.
+func (ch *Channel) head() int {
+	h := int(int64(ch.word(chWordHead))) % ch.cap
+	if h < 0 {
+		h += ch.cap
+	}
+	return h
+}
+
+// count returns the item count clamped into [0, cap], for the same reason.
+func (ch *Channel) count() int {
+	n := int(int64(ch.word(chWordCount)))
+	if n < 0 {
+		return 0
+	}
+	if n > ch.cap {
+		return ch.cap
+	}
+	return n
+}
+
 // Cap returns the channel capacity.
 func (ch *Channel) Cap() int { return ch.cap }
 
 // Len returns the number of staged items (committed plus uncommitted
 // mutations).
-func (ch *Channel) Len() int { return int(ch.word(chWordCount)) }
+func (ch *Channel) Len() int { return ch.count() }
 
 // Push stages an item at the tail. It reports false when the channel is
 // full; intermittent applications typically size channels for their collect
@@ -62,7 +84,7 @@ func (ch *Channel) Push(v float64) bool {
 	if count >= ch.cap {
 		return false
 	}
-	head := int(ch.word(chWordHead))
+	head := ch.head()
 	slot := (head + count) % ch.cap
 	ch.setWord(chWordSlots+slot, math.Float64bits(v))
 	ch.setWord(chWordCount, uint64(count+1))
@@ -85,7 +107,7 @@ func (ch *Channel) Pop() (v float64, ok bool) {
 	if count == 0 {
 		return 0, false
 	}
-	head := int(ch.word(chWordHead))
+	head := ch.head()
 	v = math.Float64frombits(ch.word(chWordSlots + head))
 	ch.setWord(chWordHead, uint64((head+1)%ch.cap))
 	ch.setWord(chWordCount, uint64(count-1))
@@ -97,14 +119,14 @@ func (ch *Channel) Peek() (v float64, ok bool) {
 	if ch.Len() == 0 {
 		return 0, false
 	}
-	head := int(ch.word(chWordHead))
+	head := ch.head()
 	return math.Float64frombits(ch.word(chWordSlots + head)), true
 }
 
 // Items returns the staged contents oldest-first; for averaging windows.
 func (ch *Channel) Items() []float64 {
 	count := ch.Len()
-	head := int(ch.word(chWordHead))
+	head := ch.head()
 	out := make([]float64, 0, count)
 	for i := 0; i < count; i++ {
 		out = append(out, math.Float64frombits(ch.word(chWordSlots+(head+i)%ch.cap)))
@@ -123,3 +145,6 @@ func (ch *Channel) Commit() { ch.c.Commit() }
 // Rollback discards staged mutations, restoring the last committed image
 // (reboot).
 func (ch *Channel) Rollback() { ch.c.Reopen() }
+
+// Backing exposes the committed region so an integrity guard can wrap it.
+func (ch *Channel) Backing() *nvm.Committed { return ch.c }

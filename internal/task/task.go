@@ -225,6 +225,9 @@ func (s *Store) Commit() { s.c.Commit() }
 // runtime calls this on reboot.
 func (s *Store) Rollback() { s.c.Reopen() }
 
+// Backing exposes the committed region so an integrity guard can wrap it.
+func (s *Store) Backing() *nvm.Committed { return s.c }
+
 // Ctx is the execution context handed to a task's Run function.
 type Ctx struct {
 	MCU   *device.MCU
