@@ -11,8 +11,11 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"github.com/tinysystems/artemis-go/internal/chaos"
 	"github.com/tinysystems/artemis-go/internal/codegen"
 	"github.com/tinysystems/artemis-go/internal/codegen/gen"
 	"github.com/tinysystems/artemis-go/internal/core"
@@ -260,6 +263,82 @@ func BenchmarkCodegen(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchWorkerCounts is the worker ladder for the parallel-executor
+// benchmarks: serial, two workers, and one per CPU (deduplicated, so on a
+// single-core machine the ladder is just 1 and 2).
+func benchWorkerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkExhaustiveSweep measures the exhaustive crash-point exploration
+// (internal/chaos Explorer, budget 0 = every committing write) at each
+// worker count. Output is byte-identical across the ladder; only wall-clock
+// should move.
+func BenchmarkExhaustiveSweep(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := chaos.NewHealthExplorer(7, 0)
+				ex.Workers = w
+				if _, err := ex.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlipCampaign measures the bit-flip fault campaign (24 seeded
+// runs) at each worker count. Flip sites are pre-drawn before fan-out, so
+// the sampled faults are identical at every count.
+func BenchmarkFlipCampaign(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				camp := chaos.NewHealthFlipCampaign(5, 24, false)
+				camp.Workers = w
+				if _, err := camp.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNVMWrite pins the FRAM write path — the innermost loop of every
+// simulation — at zero allocations per store.
+func BenchmarkNVMWrite(b *testing.B) {
+	mem := nvm.New(4096)
+	reg := mem.MustAlloc("bench", "scratch", 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.WriteUint64(0, uint64(i))
+		reg.SetByteAt(16, byte(i))
+		reg.Put32(24, uint32(i))
+	}
+}
+
+// BenchmarkNVMHash pins Memory.Hash at O(1): the digest is maintained
+// incrementally on each differing-byte store, so snapshotting a 256 KiB
+// image costs nothing beyond the read of one word.
+func BenchmarkNVMHash(b *testing.B) {
+	mem := nvm.New(256 * 1024)
+	reg := mem.MustAlloc("bench", "scratch", 64)
+	reg.WriteUint64(0, 0xdeadbeef)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var h uint64
+	for i := 0; i < b.N; i++ {
+		h ^= mem.Hash()
+	}
+	_ = h
 }
 
 // BenchmarkAblationThreadedMonitor measures the ImmortalThreads-style

@@ -30,6 +30,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/mayfly"
 	"github.com/tinysystems/artemis-go/internal/monitor"
 	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/parallel"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 	"github.com/tinysystems/artemis-go/internal/task"
 	"github.com/tinysystems/artemis-go/internal/trace"
@@ -64,6 +65,7 @@ func run(args []string, w io.Writer) error {
 		useInteg = fs.Bool("integrity", false, "enable the self-healing NVM integrity layer (CRC guards + scrubber + repair)")
 		scrubStr = fs.String("scrub-interval", "1s", "integrity scrub period (e.g. 500ms); 0 disables the background scrubber")
 		watchdog = fs.Int("watchdog-limit", 0, "consecutive boots dying at the same task before the watchdog fails the path; 0 disables")
+		workers  = fs.Int("workers", 1, "concurrent runs per chaos fault family (with -chaos); 0 = one per CPU, reports identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +85,12 @@ func run(args []string, w io.Writer) error {
 	if (*useInteg || *watchdog > 0) && *system == "mayfly" {
 		return fmt.Errorf("-integrity and -watchdog-limit require -system artemis (the Mayfly baseline has no self-healing layer)")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: must be >= 0 (0 = one per CPU)", *workers)
+	}
+	if *workers != 1 && !*runChaos {
+		return fmt.Errorf("-workers parallelises the -chaos fault families; a single simulation run has nothing to fan out")
+	}
 	if *runChaos {
 		switch {
 		case *burst != "" || *burstOff != "" || *charging != "" || *harvest > 0:
@@ -96,7 +104,13 @@ func run(args []string, w io.Writer) error {
 		case *faultRun <= 0:
 			return fmt.Errorf("-chaos-fault-runs %d: must be positive", *faultRun)
 		}
-		rep, err := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun, *useInteg).Run()
+		camp := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun, *useInteg)
+		if *workers == 0 {
+			camp.Workers = parallel.DefaultWorkers()
+		} else {
+			camp.Workers = *workers
+		}
+		rep, err := camp.Run()
 		if err != nil {
 			return err
 		}

@@ -140,6 +140,24 @@ func TestChaosModeDeterministic(t *testing.T) {
 	}
 }
 
+func TestChaosWorkersDeterministic(t *testing.T) {
+	campaign := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-chaos", "-seed", "42", "-chaos-crash-points", "50", "-chaos-fault-runs", "3"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := campaign()
+	if got := campaign("-workers", "4"); got != serial {
+		t.Errorf("-workers 4 changed the chaos report:\nserial:\n%s\nparallel:\n%s", serial, got)
+	}
+	if got := campaign("-workers", "0"); got != serial {
+		t.Errorf("-workers 0 changed the chaos report:\nserial:\n%s\nparallel:\n%s", serial, got)
+	}
+}
+
 func TestBurstSupplySeeded(t *testing.T) {
 	burst := func(seed string) string {
 		var out bytes.Buffer
@@ -169,6 +187,8 @@ func TestRejectedFlagCombos(t *testing.T) {
 		{[]string{"-chaos", "-system", "mayfly"}, "ARTEMIS runtime"},
 		{[]string{"-chaos", "-chaos-crash-points", "-1"}, "must be >= 0"},
 		{[]string{"-chaos", "-chaos-fault-runs", "0"}, "must be positive"},
+		{[]string{"-workers", "-1"}, "must be >= 0"},
+		{[]string{"-workers", "4"}, "nothing to fan out"},
 		{[]string{"-watchdog-limit", "-3"}, "must be >= 0"},
 		{[]string{"-integrity", "-scrub-interval", "-5s"}, "-scrub-interval"},
 		{[]string{"-integrity", "-scrub-interval", "soon"}, "-scrub-interval"},

@@ -1,0 +1,209 @@
+// Command benchjson runs the repository benchmark suite and emits a
+// machine-readable baseline. It shells out to `go test -bench`, parses the
+// standard benchmark output, and writes one JSON document with ns/op,
+// B/op, allocs/op per benchmark plus the workers=1 vs workers=N wall-clock
+// ratio for the parallel-executor benchmarks.
+//
+//	benchjson                          # full suite -> BENCH_4.json
+//	benchjson -bench 'NVM' -o nvm.json # a subset, elsewhere
+//	benchjson -benchtime 1x            # quick smoke (noisy numbers)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the emitted document. The schema field names the layout so a
+// later PR can evolve it without guessing.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Env        Env         `json:"env"`
+	BenchTime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+// Env records where the numbers came from; single-core CI and a developer
+// laptop are not comparable.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup compares a workers=N sub-benchmark against its workers=1
+// sibling: Ratio > 1 means the parallel run was faster.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Workers   int     `json:"workers"`
+	Ratio     float64 `json:"ratio_vs_workers_1"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", "ExhaustiveSweep|FlipCampaign|NVMWrite|NVMHash|SingleRun|PersistentMonitor", "benchmark filter passed to go test -bench")
+		benchtime = fs.String("benchtime", "", "passed to go test -benchtime; empty = the go test default")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+		out       = fs.String("o", "BENCH_4.json", "output path; - = stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, *pkg)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w\n%s", strings.Join(goArgs, " "), err, raw)
+	}
+
+	rep, err := parse(string(raw))
+	if err != nil {
+		return err
+	}
+	rep.BenchTime = *benchtime
+	if rep.BenchTime == "" {
+		rep.BenchTime = "1s"
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	return nil
+}
+
+// resultLine matches standard `go test -benchmem` output, e.g.
+//
+//	BenchmarkNVMWrite-4   13417772   88.78 ns/op   0 B/op   0 allocs/op
+//
+// The -4 GOMAXPROCS suffix is absent on single-proc runs.
+var resultLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// workersSub extracts the worker count from a sub-benchmark name like
+// BenchmarkExhaustiveSweep/workers=2.
+var workersSub = regexp.MustCompile(`^(Benchmark[^/]+)/workers=(\d+)$`)
+
+func parse(out string) (*Report, error) {
+	rep := &Report{
+		Schema: "artemis-go/bench/v1",
+		Env: Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.Env.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := resultLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bytes, _ := strconv.ParseInt(m[4], 10, 64)
+		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:        strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytes,
+			AllocsPerOp: allocs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results in go test output:\n%s", out)
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	return rep, nil
+}
+
+func speedups(benches []Benchmark) []Speedup {
+	serial := map[string]float64{}
+	for _, b := range benches {
+		if m := workersSub.FindStringSubmatch("Benchmark" + b.Name); m != nil && m[2] == "1" {
+			serial[strings.TrimPrefix(m[1], "Benchmark")] = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, b := range benches {
+		m := workersSub.FindStringSubmatch("Benchmark" + b.Name)
+		if m == nil || m[2] == "1" {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		base, ok := serial[name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		workers, _ := strconv.Atoi(m[2])
+		out = append(out, Speedup{
+			Benchmark: name,
+			Workers:   workers,
+			Ratio:     base / b.NsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Workers < out[j].Workers
+	})
+	return out
+}

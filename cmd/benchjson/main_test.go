@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/tinysystems/artemis-go
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExhaustiveSweep/workers=1         	       2	 780865505 ns/op	604112488 B/op	 1550580 allocs/op
+BenchmarkExhaustiveSweep/workers=2         	       2	 390432752 ns/op	604122216 B/op	 1550139 allocs/op
+BenchmarkFlipCampaign/workers=1-4          	     100	  14836512 ns/op	13539840 B/op	   34793 allocs/op
+BenchmarkFlipCampaign/workers=4-4          	     100	   4945504 ns/op	13541240 B/op	   34805 allocs/op
+BenchmarkNVMWrite                          	13417772	      88.78 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/tinysystems/artemis-go	1.566s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	if rep.Env.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", rep.Env.CPU)
+	}
+	nvm := rep.Benchmarks[4]
+	if nvm.Name != "NVMWrite" || nvm.NsPerOp != 88.78 || nvm.AllocsPerOp != 0 {
+		t.Errorf("NVMWrite parsed as %+v", nvm)
+	}
+	if flip := rep.Benchmarks[2]; flip.Name != "FlipCampaign/workers=1" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", flip.Name)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	rep, err := parse(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("got %d speedups, want 2: %+v", len(rep.Speedups), rep.Speedups)
+	}
+	sweep := rep.Speedups[0]
+	if sweep.Benchmark != "ExhaustiveSweep" || sweep.Workers != 2 {
+		t.Errorf("first speedup = %+v", sweep)
+	}
+	if sweep.Ratio < 1.99 || sweep.Ratio > 2.01 {
+		t.Errorf("ExhaustiveSweep ratio = %v, want ~2.0", sweep.Ratio)
+	}
+	flip := rep.Speedups[1]
+	if flip.Benchmark != "FlipCampaign" || flip.Workers != 4 || flip.Ratio < 2.99 || flip.Ratio > 3.01 {
+		t.Errorf("FlipCampaign speedup = %+v, want workers=4 ratio ~3.0", flip)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse("PASS\nok\n"); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+func TestEmitToStdout(t *testing.T) {
+	// Exercise run end to end with the cheapest possible benchmark set;
+	// -benchtime 1x keeps this a smoke test, not a measurement.
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "NVMHash", "-benchtime", "1x", "-pkg", "github.com/tinysystems/artemis-go", "-o", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"schema": "artemis-go/bench/v1"`, `"name": "NVMHash"`, `"allocs_per_op"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/tinysystems/artemis-go/internal/experiments"
+	"github.com/tinysystems/artemis-go/internal/parallel"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 	"github.com/tinysystems/artemis-go/internal/trace"
 )
@@ -39,11 +40,18 @@ func run(args []string, w io.Writer) error {
 		ext      = fs.Bool("extension", false, "include the §4.2.2 minEnergy extension comparison")
 		recovery = fs.Bool("recovery", false, "include the fault-recovery evaluation (bit flips, scrub overhead, watchdog)")
 		csv      = fs.Bool("csv", false, "emit comma-separated values instead of aligned text")
+		workers  = fs.Int("workers", 1, "concurrent simulations per sweep; 0 = one per CPU (output is identical at any worker count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{BudgetUJ: *budget, NonTermReboots: *reboots}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers == 0 {
+		*workers = parallel.DefaultWorkers()
+	}
+	opt := experiments.Options{BudgetUJ: *budget, NonTermReboots: *reboots, Workers: *workers}
 	for m := 1; m <= *maxDelay; m++ {
 		opt.ChargingDelays = append(opt.ChargingDelays, simclock.Duration(m)*simclock.Minute)
 	}

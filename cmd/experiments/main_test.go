@@ -62,6 +62,34 @@ func TestBadFlag(t *testing.T) {
 	}
 }
 
+func TestWorkersFlagDeterministic(t *testing.T) {
+	sweep := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-fig", "12", "-maxdelay", "3", "-reboots", "60"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := sweep()
+	if got := sweep("-workers", "4"); got != serial {
+		t.Errorf("-workers 4 changed the output:\nserial:\n%s\nparallel:\n%s", serial, got)
+	}
+	if got := sweep("-workers", "0"); got != serial {
+		t.Errorf("-workers 0 changed the output:\nserial:\n%s\nparallel:\n%s", serial, got)
+	}
+}
+
+func TestWorkersRejectsNegative(t *testing.T) {
+	err := run([]string{"-workers", "-2"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("-workers -2 accepted")
+	}
+	if !strings.Contains(err.Error(), ">= 0") {
+		t.Errorf("error %q does not mention >= 0", err)
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fig", "14", "-csv", "-reboots", "60"}, &out); err != nil {

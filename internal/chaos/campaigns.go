@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/integrity"
 	"github.com/tinysystems/artemis-go/internal/monitor"
+	"github.com/tinysystems/artemis-go/internal/parallel"
 )
 
 // RadioCampaign exercises the remote-monitor deployment over a lossy,
@@ -35,6 +37,11 @@ type RadioCampaign struct {
 	// DropProb / DupProb parameterise the channel.
 	DropProb float64
 	DupProb  float64
+
+	// Workers fans the lossy runs across goroutines (0 or 1 = serial).
+	// Each run's link seed is derived from its index before the fan-out,
+	// so concurrency never changes which faults are sampled.
+	Workers int
 }
 
 // RadioRunResult is the verdict of one lossy run.
@@ -101,37 +108,49 @@ func (c *RadioCampaign) Run() (*RadioReport, error) {
 	ref := capture(f, rep, c.Keys)
 
 	out := &RadioReport{Runs: runs, Ref: ref}
-	for i := 0; i < runs; i++ {
-		// Distinct, reproducible seed per run.
-		linkSeed := c.Seed*7919 + int64(i) + 1
-		link := NewLossyLink(linkSeed, c.DropProb, c.DupProb)
-		f, err := c.Build(link)
-		if err != nil {
-			return nil, err
-		}
-		res := RadioRunResult{LinkSeed: linkSeed}
-		rep, err := f.Run()
-		rem := f.Remote()
-		if rem == nil {
-			return nil, fmt.Errorf("chaos: RadioCampaign build did not deploy remote monitors")
-		}
-		res.Retries, res.Degraded, res.Duplicates = rem.Retries(), rem.Degraded(), rem.Duplicates()
-		res.Drops = link.Drops()
-		switch {
-		case err != nil:
-			res.Failure = err.Error()
-		case !rep.Completed:
-			res.Failure = "run did not complete"
-		default:
-			res.Completed = true
-			res.Reboots = rep.Reboots
-			got := capture(f, rep, c.Keys)
-			if c.Invariant != nil {
-				if ierr := c.Invariant(ref, got); ierr != nil {
-					res.Failure = ierr.Error()
+	indices := make([]int, runs)
+	for i := range indices {
+		indices[i] = i
+	}
+	results, err := parallel.Map(context.Background(), indices, workerCount(c.Workers),
+		func(_ context.Context, _ int, i int) (RadioRunResult, error) {
+			// Distinct, reproducible seed per run index — independent of
+			// which worker executes the run.
+			linkSeed := c.Seed*7919 + int64(i) + 1
+			link := NewLossyLink(linkSeed, c.DropProb, c.DupProb)
+			f, err := c.Build(link)
+			if err != nil {
+				return RadioRunResult{}, err
+			}
+			res := RadioRunResult{LinkSeed: linkSeed}
+			rep, err := f.Run()
+			rem := f.Remote()
+			if rem == nil {
+				return RadioRunResult{}, fmt.Errorf("chaos: RadioCampaign build did not deploy remote monitors")
+			}
+			res.Retries, res.Degraded, res.Duplicates = rem.Retries(), rem.Degraded(), rem.Duplicates()
+			res.Drops = link.Drops()
+			switch {
+			case err != nil:
+				res.Failure = err.Error()
+			case !rep.Completed:
+				res.Failure = "run did not complete"
+			default:
+				res.Completed = true
+				res.Reboots = rep.Reboots
+				got := capture(f, rep, c.Keys)
+				if c.Invariant != nil {
+					if ierr := c.Invariant(ref, got); ierr != nil {
+						res.Failure = ierr.Error()
+					}
 				}
 			}
-		}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		if res.Failure != "" {
 			out.Failed++
 		}
@@ -159,6 +178,9 @@ type SensorCampaign struct {
 	Build func(f SensorFault) (*core.Framework, error)
 	Keys  []string
 	Cases []SensorCase
+	// Workers fans the cases across goroutines (0 or 1 = serial); results
+	// stay in case order.
+	Workers int
 }
 
 // SensorCaseResult is the verdict of one fault case.
@@ -201,28 +223,35 @@ func (c *SensorCampaign) Run() (*SensorReport, error) {
 		return nil, fmt.Errorf("chaos: SensorCampaign needs a Build function")
 	}
 	out := &SensorReport{Cases: len(c.Cases)}
-	for _, cs := range c.Cases {
-		f, err := c.Build(cs.Fault)
-		if err != nil {
-			return nil, err
-		}
-		res := SensorCaseResult{Fault: cs.Fault.Name()}
-		rep, err := f.Run()
-		if err != nil {
-			res.Failure = err.Error()
-		} else {
-			got := capture(f, rep, c.Keys)
-			res.Completed = got.Completed
-			res.PathCompletes = got.PathCompletes
-			res.PathRestarts = got.PathRestarts
-			res.PathSkips = got.PathSkips
-			res.TaskSkips = got.TaskSkips
-			if cs.Expect != nil {
-				if eerr := cs.Expect(got); eerr != nil {
-					res.Failure = eerr.Error()
+	results, err := parallel.Map(context.Background(), c.Cases, workerCount(c.Workers),
+		func(_ context.Context, _ int, cs SensorCase) (SensorCaseResult, error) {
+			f, err := c.Build(cs.Fault)
+			if err != nil {
+				return SensorCaseResult{}, err
+			}
+			res := SensorCaseResult{Fault: cs.Fault.Name()}
+			rep, err := f.Run()
+			if err != nil {
+				res.Failure = err.Error()
+			} else {
+				got := capture(f, rep, c.Keys)
+				res.Completed = got.Completed
+				res.PathCompletes = got.PathCompletes
+				res.PathRestarts = got.PathRestarts
+				res.PathSkips = got.PathSkips
+				res.TaskSkips = got.TaskSkips
+				if cs.Expect != nil {
+					if eerr := cs.Expect(got); eerr != nil {
+						res.Failure = eerr.Error()
+					}
 				}
 			}
-		}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		if res.Failure != "" {
 			out.Failed++
 		}
@@ -249,6 +278,11 @@ type FlipCampaign struct {
 	// WithIntegrity records that Build enables the self-healing layer, so
 	// the report says which configuration it measured.
 	WithIntegrity bool
+	// Workers fans the flip runs across goroutines (0 or 1 = serial).
+	// Every run's flip point and flip seed are drawn sequentially from the
+	// campaign RNG before the fan-out, so the sampled faults — and the
+	// report — are identical at any worker count.
+	Workers int
 }
 
 // FlipReport summarises a bit-flip campaign.
@@ -310,61 +344,100 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 	writes := int(f.MCU().Mem.Stats().Writes - base)
 	ref := capture(f, rep, c.Keys)
 
+	// Draw every run's fault up front, sequentially, from the campaign
+	// RNG: the sampled (point, seed) sequence is then a function of the
+	// campaign seed alone, never of which worker gets which run.
+	type flipDraw struct {
+		point    int
+		flipSeed int64
+	}
 	r := rng(c.Seed)
-	out := &FlipReport{Runs: runs, WithIntegrity: c.WithIntegrity}
-	for i := 0; i < runs; i++ {
-		point := 1 + r.Intn(writes)
-		flipSeed := r.Int63()
-		f, err := c.Build()
-		if err != nil {
-			return nil, err
-		}
-		mem := f.MCU().Mem
-		flipper := NewBitFlipper(mem, flipSeed)
-		armed := point
-		var where string
-		mem.SetWriteObserver(func() {
-			armed--
-			if armed == 0 {
-				if a, off, bit, ok := flipper.Flip(c.Owner); ok {
-					where = fmt.Sprintf("%s/%s byte %d bit %d after write %d", a.Owner, a.Name, off-a.Off, bit, point)
+	draws := make([]flipDraw, runs)
+	for i := range draws {
+		draws[i] = flipDraw{point: 1 + r.Intn(writes), flipSeed: r.Int63()}
+	}
+
+	// flipVerdict carries one run's classification back to the in-order
+	// aggregation below.
+	type flipVerdict struct {
+		ist      integrity.Stats
+		crashed  bool
+		crashLog string
+		unrec    bool
+		detected bool
+		recov    bool
+		masked   bool
+	}
+	verdicts, err := parallel.Map(context.Background(), draws, workerCount(c.Workers),
+		func(_ context.Context, _ int, d flipDraw) (flipVerdict, error) {
+			f, err := c.Build()
+			if err != nil {
+				return flipVerdict{}, err
+			}
+			mem := f.MCU().Mem
+			flipper := NewBitFlipper(mem, d.flipSeed)
+			armed := d.point
+			var where string
+			mem.SetWriteObserver(func() {
+				armed--
+				if armed == 0 {
+					if a, off, bit, ok := flipper.Flip(c.Owner); ok {
+						where = fmt.Sprintf("%s/%s byte %d bit %d after write %d", a.Owner, a.Name, off-a.Off, bit, d.point)
+					}
+				}
+			})
+			rep, err := c.attempt(f)
+			mem.SetWriteObserver(nil)
+			var v flipVerdict
+			if rep != nil && rep.Integrity != nil {
+				v.ist = *rep.Integrity
+			}
+			switch {
+			case rep == nil: // panicked
+				v.crashed = true
+				v.crashLog = fmt.Sprintf("%s: %v", where, err)
+			case v.ist.Quarantines > 0 || errors.Is(err, artemis.ErrCorrupt):
+				// Flagged, but beyond repair: the layer detected the
+				// corruption and failed safe instead of computing on bad data.
+				v.unrec = true
+			case err != nil || rep.NonTerminated || !rep.Completed:
+				v.detected = true
+			case v.ist.ShadowRestores+v.ist.Resets > 0:
+				// The layer repaired the flip and the run finished normally.
+				v.recov = true
+			default:
+				got := capture(f, rep, c.Keys)
+				v.masked = true
+				for _, k := range c.Keys {
+					if got.Outputs[k] != ref.Outputs[k] {
+						v.masked = false
+						break
+					}
 				}
 			}
+			return v, nil
 		})
-		rep, err := c.attempt(f)
-		mem.SetWriteObserver(nil)
-		var ist integrity.Stats
-		if rep != nil && rep.Integrity != nil {
-			ist = *rep.Integrity
-		}
-		out.Integrity.Add(ist)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FlipReport{Runs: runs, WithIntegrity: c.WithIntegrity}
+	for _, v := range verdicts {
+		out.Integrity.Add(v.ist)
 		switch {
-		case rep == nil: // panicked
+		case v.crashed:
 			out.Crashed++
-			out.CrashLogs = append(out.CrashLogs, fmt.Sprintf("%s: %v", where, err))
-		case ist.Quarantines > 0 || errors.Is(err, artemis.ErrCorrupt):
-			// Flagged, but beyond repair: the layer detected the corruption
-			// and failed safe instead of computing on bad data.
+			out.CrashLogs = append(out.CrashLogs, v.crashLog)
+		case v.unrec:
 			out.Unrecoverable++
-		case err != nil || rep.NonTerminated || !rep.Completed:
+		case v.detected:
 			out.Detected++
-		case ist.ShadowRestores+ist.Resets > 0:
-			// The layer repaired the flip and the run finished normally.
+		case v.recov:
 			out.Recovered++
+		case v.masked:
+			out.Masked++
 		default:
-			got := capture(f, rep, c.Keys)
-			same := true
-			for _, k := range c.Keys {
-				if got.Outputs[k] != ref.Outputs[k] {
-					same = false
-					break
-				}
-			}
-			if same {
-				out.Masked++
-			} else {
-				out.Degraded++
-			}
+			out.Degraded++
 		}
 	}
 	return out, nil

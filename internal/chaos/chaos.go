@@ -84,20 +84,29 @@ func (r *Report) String() string {
 // Campaign bundles the fault families to run against one deployment. Nil
 // members are skipped.
 type Campaign struct {
-	Seed   int64
-	Crash  *Explorer
-	Radio  *RadioCampaign
-	Sensor *SensorCampaign
-	Flip   *FlipCampaign
+	Seed int64
+	// Workers is propagated to members whose own Workers is zero, like
+	// Seed: each family fans its independent runs across this many
+	// goroutines. 0 or 1 runs everything serially. Reports are identical
+	// at any worker count.
+	Workers int
+	Crash   *Explorer
+	Radio   *RadioCampaign
+	Sensor  *SensorCampaign
+	Flip    *FlipCampaign
 }
 
 // Run executes every enabled fault family and aggregates the reports.
-// Campaign members inherit the campaign seed when their own is zero.
+// Campaign members inherit the campaign seed (and worker count) when
+// their own is zero.
 func (c *Campaign) Run() (*Report, error) {
 	rep := &Report{Seed: c.Seed}
 	if c.Crash != nil {
 		if c.Crash.Seed == 0 {
 			c.Crash.Seed = c.Seed
+		}
+		if c.Crash.Workers == 0 {
+			c.Crash.Workers = c.Workers
 		}
 		cr, err := c.Crash.Run()
 		if err != nil {
@@ -109,6 +118,9 @@ func (c *Campaign) Run() (*Report, error) {
 		if c.Radio.Seed == 0 {
 			c.Radio.Seed = c.Seed
 		}
+		if c.Radio.Workers == 0 {
+			c.Radio.Workers = c.Workers
+		}
 		rr, err := c.Radio.Run()
 		if err != nil {
 			return nil, fmt.Errorf("chaos: radio campaign: %w", err)
@@ -116,6 +128,9 @@ func (c *Campaign) Run() (*Report, error) {
 		rep.Radio = rr
 	}
 	if c.Sensor != nil {
+		if c.Sensor.Workers == 0 {
+			c.Sensor.Workers = c.Workers
+		}
 		sr, err := c.Sensor.Run()
 		if err != nil {
 			return nil, fmt.Errorf("chaos: sensor campaign: %w", err)
@@ -125,6 +140,9 @@ func (c *Campaign) Run() (*Report, error) {
 	if c.Flip != nil {
 		if c.Flip.Seed == 0 {
 			c.Flip.Seed = c.Seed
+		}
+		if c.Flip.Workers == 0 {
+			c.Flip.Workers = c.Workers
 		}
 		fr, err := c.Flip.Run()
 		if err != nil {
@@ -143,6 +161,16 @@ func rng(seed int64) *rand.Rand {
 		seed = 1
 	}
 	return rand.New(rand.NewSource(seed))
+}
+
+// workerCount normalises a campaign's Workers field for parallel.Map:
+// the zero value (and 1) means serial, matching the bisection-friendly
+// default everywhere in this package.
+func workerCount(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	return w
 }
 
 func verdictWord(ok bool) string {

@@ -1,12 +1,14 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/parallel"
 )
 
 // Oracle names, used as keys in reports.
@@ -183,6 +185,13 @@ type Explorer struct {
 	// RebootSlack is how many reboots beyond reference+1 the progress
 	// oracle tolerates; the injected failure itself accounts for the +1.
 	RebootSlack int
+
+	// Workers is how many crash points to explore concurrently. 0 or 1
+	// explores serially. Each worker replays on its own freshly built
+	// deployment, and point results are aggregated in schedule order, so
+	// the report is byte-identical at any worker count. The schedule
+	// itself (sampling, pruning) is decided before the fan-out.
+	Workers int
 }
 
 // Run executes the sweep.
@@ -229,11 +238,19 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 	schedule, pruned := e.schedule(writes, hashes)
 	out.Pruned = pruned
 
-	for _, k := range schedule {
-		pr, err := e.explorePoint(k, ref)
-		if err != nil {
-			return nil, err
-		}
+	// Partition the fixed schedule across workers; each point replays on
+	// its own deployment. Results come back in schedule order, so the
+	// serial aggregation below (including which failures are retained)
+	// does not depend on the worker count.
+	results, err := parallel.Map(context.Background(), schedule, workerCount(e.Workers),
+		func(_ context.Context, _ int, k int) (PointResult, error) {
+			return e.explorePoint(k, ref)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, pr := range results {
 		out.Explored++
 		if pr.Reboots > out.WorstReboots {
 			out.WorstReboots = pr.Reboots

@@ -23,12 +23,19 @@ var healthExactKeys = []string{"tempCount", "micData", "accelData"}
 
 func buildHealth(mut func(cfg *core.Config, app *health.App)) (*core.Framework, error) {
 	app := health.New()
+	// The compiled Figure-5 program is immutable and process-wide; sharing
+	// it avoids re-parsing the spec for each of the hundreds-to-thousands
+	// of frameworks a campaign builds, and is safe for concurrent workers.
+	res, err := health.CompiledShared()
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.Config{
-		System:     core.Artemis,
-		Graph:      app.Graph,
-		StoreKeys:  health.Keys(),
-		SpecSource: health.SpecSource,
-		Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
+		System:    core.Artemis,
+		Graph:     app.Graph,
+		StoreKeys: health.Keys(),
+		Compiled:  res,
+		Supply:    core.SupplyConfig{Kind: core.SupplyContinuous},
 	}
 	if mut != nil {
 		mut(&cfg, app)

@@ -96,6 +96,15 @@ type Config struct {
 
 	// SpecSource is the ARTEMIS property specification (ignored by Mayfly).
 	SpecSource string
+	// Compiled, when set, supplies a pre-compiled monitor program and skips
+	// the per-deployment spec parse + compile (ARTEMIS only; mutually
+	// exclusive with SpecSource). The framework treats the Result as
+	// immutable, so one compiled program may be shared by many deployments
+	// — including concurrent ones — as long as each deployment's Graph is
+	// topology-identical to the graph it was compiled against (machines and
+	// bindings reference tasks and paths by name/ID, never by pointer).
+	// Sweeps compile once per sweep instead of once per run.
+	Compiled *transform.Result
 	// Constraints is the Mayfly constraint set (ignored by ARTEMIS).
 	Constraints []mayfly.Constraint
 
@@ -258,6 +267,9 @@ func New(cfg Config) (*Framework, error) {
 	if (cfg.Integrity || cfg.WatchdogLimit > 0) && cfg.System != Artemis {
 		return nil, errors.New("core: Integrity and WatchdogLimit require the ARTEMIS runtime")
 	}
+	if cfg.Compiled != nil && cfg.System != Artemis {
+		return nil, errors.New("core: Config.Compiled requires the ARTEMIS runtime")
+	}
 	var integ *integrity.Manager
 	if cfg.Integrity {
 		scrub := cfg.ScrubInterval
@@ -272,13 +284,18 @@ func New(cfg Config) (*Framework, error) {
 	}
 	switch cfg.System {
 	case Artemis:
-		s, err := spec.Parse(cfg.SpecSource)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		res, err := transform.Compile(s, transform.Options{Graph: cfg.Graph, DataVars: cfg.StoreKeys})
-		if err != nil {
-			return nil, err
+		res := cfg.Compiled
+		if res == nil {
+			s, err := spec.Parse(cfg.SpecSource)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			res, err = transform.Compile(s, transform.Options{Graph: cfg.Graph, DataVars: cfg.StoreKeys})
+			if err != nil {
+				return nil, err
+			}
+		} else if cfg.SpecSource != "" {
+			return nil, errors.New("core: Config.Compiled and Config.SpecSource are mutually exclusive")
 		}
 		mons, err := monitor.NewSet(mem, res)
 		if err != nil {

@@ -27,19 +27,20 @@ type AlternativeRow struct {
 // significant overheads" — the numbers make the prediction concrete.
 func Alternatives(o Options) ([]AlternativeRow, error) {
 	o = o.withDefaults()
-	var rows []AlternativeRow
-	for _, alt := range []struct {
+	type alt struct {
 		name   string
 		remote bool
-	}{
+	}
+	alts := []alt{
 		{"on-device monitors", false},
 		{"external wireless monitors", true},
-	} {
+	}
+	return sweep(o, alts, func(_ int, a alt) (AlternativeRow, error) {
 		rep, _, err := runHealth(core.Artemis, continuous(), o, func(cfg *core.Config) {
-			cfg.RemoteMonitors = alt.remote
+			cfg.RemoteMonitors = a.remote
 		})
 		if err != nil {
-			return nil, fmt.Errorf("alternatives (%s): %w", alt.name, err)
+			return AlternativeRow{}, fmt.Errorf("alternatives (%s): %w", a.name, err)
 		}
 		mon := rep.Breakdown[device.CompMonitor]
 		var total device.Usage
@@ -47,16 +48,15 @@ func Alternatives(o Options) ([]AlternativeRow, error) {
 			total.Time += u.Time
 			total.Energy += u.Energy
 		}
-		rows = append(rows, AlternativeRow{
-			Deployment:  alt.name,
+		return AlternativeRow{
+			Deployment:  a.name,
 			MonitorTime: mon.Time,
 			MonitorUJ:   float64(mon.Energy) * 1e6,
 			TotalTime:   total.Time,
 			TotalUJ:     float64(total.Energy) * 1e6,
 			Completed:   rep.Completed,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // TableAlternatives builds the deployment-comparison table.

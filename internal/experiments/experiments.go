@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
+	"github.com/tinysystems/artemis-go/internal/parallel"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 )
 
@@ -31,6 +33,12 @@ type Options struct {
 	NonTermReboots int
 	// BodyTemp configures the simulated patient; defaults to healthy 36.6.
 	BodyTemp float64
+	// Workers is the number of concurrent simulations per sweep. 0 or 1
+	// runs serially on the calling goroutine (the bisection-friendly zero
+	// value); pass parallel.DefaultWorkers() for one per CPU. Every sweep
+	// returns results in sweep order regardless of Workers, so rendered
+	// figures and tables are byte-identical at any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +73,21 @@ type Outcome struct {
 	PathSkips     int
 }
 
+// sweep runs fn over items through the shared fan-out executor with the
+// options' worker count and returns the results in item order — the
+// property that keeps parallel figure output byte-identical to serial.
+// Each fn call must build its own simulation (core.New per call); the
+// only state shared between concurrent calls is the immutable compiled
+// monitor program.
+func sweep[I, O any](o Options, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return parallel.Map(context.Background(), items, workers,
+		func(_ context.Context, i int, item I) (O, error) { return fn(i, item) })
+}
+
 // runHealth executes the benchmark once on the chosen system and supply.
 func runHealth(system core.System, supply core.SupplyConfig, o Options, hook func(*core.Config)) (*core.Report, Outcome, error) {
 	app := health.NewWithTemp(o.BodyTemp)
@@ -72,12 +95,19 @@ func runHealth(system core.System, supply core.SupplyConfig, o Options, hook fun
 		System:     system,
 		Graph:      app.Graph,
 		StoreKeys:  health.Keys(),
-		SpecSource: health.SpecSource,
 		Supply:     supply,
 		MaxReboots: o.NonTermReboots,
 	}
 	if system == core.Mayfly {
 		cfg.Constraints = mayfly.HealthConstraints()
+	} else {
+		// Compile the Figure-5 spec once per process instead of once per
+		// run; the result is immutable and shared by concurrent sweeps.
+		res, err := health.CompiledShared()
+		if err != nil {
+			return nil, Outcome{}, err
+		}
+		cfg.Compiled = res
 	}
 	if hook != nil {
 		hook(&cfg)

@@ -35,19 +35,18 @@ func Extension(o Options) ([]ExtensionRow, error) {
 		}
 		plainSpec += line + "\n"
 	}
-	var rows []ExtensionRow
-	for _, budget := range []float64{1500, 2000, 2350} {
+	budgets := []float64{1500, 2000, 2350}
+	return sweep(o, budgets, func(_ int, budget float64) (ExtensionRow, error) {
 		plain, err := runCamera(plainSpec, budget, o)
 		if err != nil {
-			return nil, fmt.Errorf("extension (plain, %g µJ): %w", budget, err)
+			return ExtensionRow{}, fmt.Errorf("extension (plain, %g µJ): %w", budget, err)
 		}
 		aware, err := runCamera(camera.SpecSource, budget, o)
 		if err != nil {
-			return nil, fmt.Errorf("extension (aware, %g µJ): %w", budget, err)
+			return ExtensionRow{}, fmt.Errorf("extension (aware, %g µJ): %w", budget, err)
 		}
-		rows = append(rows, ExtensionRow{BudgetUJ: budget, Plain: plain, Aware: aware})
-	}
-	return rows, nil
+		return ExtensionRow{BudgetUJ: budget, Plain: plain, Aware: aware}, nil
+	})
 }
 
 func runCamera(specSrc string, budgetUJ float64, o Options) (Outcome, error) {

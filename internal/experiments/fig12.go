@@ -22,20 +22,18 @@ type Fig12Row struct {
 // maxAttempt bound lets it finish at every delay.
 func Figure12(o Options) ([]Fig12Row, error) {
 	o = o.withDefaults()
-	rows := make([]Fig12Row, 0, len(o.ChargingDelays))
-	for _, delay := range o.ChargingDelays {
+	return sweep(o, o.ChargingDelays, func(_ int, delay simclock.Duration) (Fig12Row, error) {
 		supply := fixedDelay(o.BudgetUJ, delay)
 		_, art, err := runHealth(core.Artemis, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 12 (ARTEMIS, %v): %w", delay, err)
+			return Fig12Row{}, fmt.Errorf("figure 12 (ARTEMIS, %v): %w", delay, err)
 		}
 		_, may, err := runHealth(core.Mayfly, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 12 (Mayfly, %v): %w", delay, err)
+			return Fig12Row{}, fmt.Errorf("figure 12 (Mayfly, %v): %w", delay, err)
 		}
-		rows = append(rows, Fig12Row{Charging: delay, Artemis: art, Mayfly: may})
-	}
-	return rows, nil
+		return Fig12Row{Charging: delay, Artemis: art, Mayfly: may}, nil
+	})
 }
 
 // TableFigure12 builds the Figure-12 series as a table (render as text or

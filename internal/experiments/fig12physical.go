@@ -37,9 +37,9 @@ const (
 // the abstraction everywhere else.
 func Figure12Physical(o Options) ([]Fig12PhysicalRow, error) {
 	o = o.withDefaults()
-	var rows []Fig12PhysicalRow
-	for minutes := 1; minutes <= 10; minutes++ {
-		charge := simclock.Duration(minutes) * simclock.Minute
+	minutes := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	return sweep(o, minutes, func(_ int, m int) (Fig12PhysicalRow, error) {
+		charge := simclock.Duration(m) * simclock.Minute
 		powerW := physBoot / charge.Seconds()
 		supply := core.SupplyConfig{
 			Kind:         core.SupplyHarvested,
@@ -48,20 +48,19 @@ func Figure12Physical(o Options) ([]Fig12PhysicalRow, error) {
 		}
 		_, art, err := runHealth(core.Artemis, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 12 physical (ARTEMIS, %d min): %w", minutes, err)
+			return Fig12PhysicalRow{}, fmt.Errorf("figure 12 physical (ARTEMIS, %d min): %w", m, err)
 		}
 		_, may, err := runHealth(core.Mayfly, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 12 physical (Mayfly, %d min): %w", minutes, err)
+			return Fig12PhysicalRow{}, fmt.Errorf("figure 12 physical (Mayfly, %d min): %w", m, err)
 		}
-		rows = append(rows, Fig12PhysicalRow{
+		return Fig12PhysicalRow{
 			HarvestUW: powerW * 1e6,
 			Charging:  charge,
 			Artemis:   art,
 			Mayfly:    may,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // TableFigure12Physical builds the physical-sweep table.

@@ -24,14 +24,14 @@ type OverheadRow struct {
 // and the overall times of ARTEMIS and Mayfly are nearly identical.
 func Figure14(o Options) ([]OverheadRow, error) {
 	o = o.withDefaults()
-	var rows []OverheadRow
-	for _, sys := range []core.System{core.Artemis, core.Mayfly} {
+	systems := []core.System{core.Artemis, core.Mayfly}
+	return sweep(o, systems, func(_ int, sys core.System) (OverheadRow, error) {
 		rep, _, err := runHealth(sys, continuous(), o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 14 (%v): %w", sys, err)
+			return OverheadRow{}, fmt.Errorf("figure 14 (%v): %w", sys, err)
 		}
 		if !rep.Completed {
-			return nil, fmt.Errorf("figure 14 (%v): did not complete on continuous power", sys)
+			return OverheadRow{}, fmt.Errorf("figure 14 (%v): did not complete on continuous power", sys)
 		}
 		row := OverheadRow{
 			System:   sys,
@@ -40,9 +40,8 @@ func Figure14(o Options) ([]OverheadRow, error) {
 			Monitor:  rep.Breakdown[device.CompMonitor].Time,
 		}
 		row.Total = row.AppLogic + row.Runtime + row.Monitor
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Figure15 is the millisecond-scale detail view of the same run: only the

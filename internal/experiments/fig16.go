@@ -24,33 +24,32 @@ type Fig16Row struct {
 // its continuous-power energy (the three bounded attempts of path #2).
 func Figure16(o Options) ([]Fig16Row, error) {
 	o = o.withDefaults()
-	points := []struct {
+	type point struct {
 		label string
 		delay simclock.Duration
-	}{
+	}
+	points := []point{
 		{"continuous", 0},
 		{"1 min", 1 * simclock.Minute},
 		{"2 min", 2 * simclock.Minute},
 		{"5 min", 5 * simclock.Minute},
 		{"10 min", 10 * simclock.Minute},
 	}
-	var rows []Fig16Row
-	for _, p := range points {
+	return sweep(o, points, func(_ int, p point) (Fig16Row, error) {
 		supply := continuous()
 		if p.delay > 0 {
 			supply = fixedDelay(o.BudgetUJ, p.delay)
 		}
 		_, art, err := runHealth(core.Artemis, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 16 (ARTEMIS, %s): %w", p.label, err)
+			return Fig16Row{}, fmt.Errorf("figure 16 (ARTEMIS, %s): %w", p.label, err)
 		}
 		_, may, err := runHealth(core.Mayfly, supply, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("figure 16 (Mayfly, %s): %w", p.label, err)
+			return Fig16Row{}, fmt.Errorf("figure 16 (Mayfly, %s): %w", p.label, err)
 		}
-		rows = append(rows, Fig16Row{Label: p.label, Charging: p.delay, Artemis: art, Mayfly: may})
-	}
-	return rows, nil
+		return Fig16Row{Label: p.label, Charging: p.delay, Artemis: art, Mayfly: may}, nil
+	})
 }
 
 // TableFigure16 builds the energy-series table.

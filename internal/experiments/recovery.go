@@ -53,48 +53,80 @@ func Recovery(o Options) (*RecoveryResult, error) {
 	o = o.withDefaults()
 	res := &RecoveryResult{}
 
-	var err error
-	if res.Baseline, err = chaos.NewHealthFlipCampaign(5, 40, false).Run(); err != nil {
-		return nil, fmt.Errorf("recovery (baseline flips): %w", err)
+	// The five measurements are independent simulations, so they fan out
+	// through the executor like any sweep; each step writes a disjoint set
+	// of result fields. The flip campaigns inherit the worker count and
+	// additionally parallelise their own runs.
+	steps := []func() error{
+		func() error {
+			camp := chaos.NewHealthFlipCampaign(5, 40, false)
+			camp.Workers = o.Workers
+			rep, err := camp.Run()
+			if err != nil {
+				return fmt.Errorf("recovery (baseline flips): %w", err)
+			}
+			res.Baseline = rep
+			return nil
+		},
+		func() error {
+			camp := chaos.NewHealthFlipCampaign(5, 40, true)
+			camp.Workers = o.Workers
+			rep, err := camp.Run()
+			if err != nil {
+				return fmt.Errorf("recovery (guarded flips): %w", err)
+			}
+			res.Guarded = rep
+			return nil
+		},
+		func() error {
+			// Fault-free guarded run on the paper's 800 µJ supply: what the
+			// scrub schedule costs when there is nothing to repair.
+			rep, _, err := runHealth(core.Artemis, fixedDelay(o.BudgetUJ, simclock.Second), o, func(cfg *core.Config) {
+				cfg.Integrity = true
+				cfg.ScrubInterval = 50 * simclock.Millisecond
+			})
+			if err != nil {
+				return fmt.Errorf("recovery (clean guarded run): %w", err)
+			}
+			if rep.Integrity != nil {
+				res.ScrubChecks = rep.Integrity.Checks
+			}
+			if total := float64(rep.Energy); total > 0 {
+				res.ScrubEnergyPct = 100 * float64(rep.Breakdown[device.CompIntegrity].Energy) / total
+			}
+			res.GuardFRAM = rep.Footprints["integrity"]
+			// Two watchdog words in the runtime's committed control region,
+			// double buffered: position and consecutive-failure count.
+			res.WatchdogFRAM = 2 * 8 * 2
+			return nil
+		},
+		func() error {
+			var err error
+			_, res.Starved, err = runHealth(core.Artemis, fixedDelay(5, simclock.Second), o, nil)
+			if err != nil {
+				return fmt.Errorf("recovery (starved baseline): %w", err)
+			}
+			return nil
+		},
+		func() error {
+			wdRep, rescued, err := runHealth(core.Artemis, fixedDelay(5, simclock.Second), o, func(cfg *core.Config) {
+				cfg.WatchdogLimit = 5
+				cfg.MaxReboots = 3 * o.NonTermReboots
+			})
+			if err != nil {
+				return fmt.Errorf("recovery (watchdog rescue): %w", err)
+			}
+			res.Rescued = rescued
+			if wdRep.ArtemisStats != nil {
+				res.WatchdogTrips = wdRep.ArtemisStats.WatchdogTrips
+			}
+			return nil
+		},
 	}
-	if res.Guarded, err = chaos.NewHealthFlipCampaign(5, 40, true).Run(); err != nil {
-		return nil, fmt.Errorf("recovery (guarded flips): %w", err)
-	}
-
-	// Fault-free guarded run on the paper's 800 µJ supply: what the scrub
-	// schedule costs when there is nothing to repair.
-	rep, _, err := runHealth(core.Artemis, fixedDelay(o.BudgetUJ, simclock.Second), o, func(cfg *core.Config) {
-		cfg.Integrity = true
-		cfg.ScrubInterval = 50 * simclock.Millisecond
-	})
-	if err != nil {
-		return nil, fmt.Errorf("recovery (clean guarded run): %w", err)
-	}
-	if rep.Integrity != nil {
-		res.ScrubChecks = rep.Integrity.Checks
-	}
-	if total := float64(rep.Energy); total > 0 {
-		res.ScrubEnergyPct = 100 * float64(rep.Breakdown[device.CompIntegrity].Energy) / total
-	}
-	res.GuardFRAM = rep.Footprints["integrity"]
-	// Two watchdog words in the runtime's committed control region, double
-	// buffered: position and consecutive-failure count.
-	res.WatchdogFRAM = 2 * 8 * 2
-
-	_, res.Starved, err = runHealth(core.Artemis, fixedDelay(5, simclock.Second), o, nil)
-	if err != nil {
-		return nil, fmt.Errorf("recovery (starved baseline): %w", err)
-	}
-	wdRep, rescued, err := runHealth(core.Artemis, fixedDelay(5, simclock.Second), o, func(cfg *core.Config) {
-		cfg.WatchdogLimit = 5
-		cfg.MaxReboots = 3 * o.NonTermReboots
-	})
-	if err != nil {
-		return nil, fmt.Errorf("recovery (watchdog rescue): %w", err)
-	}
-	res.Rescued = rescued
-	if wdRep.ArtemisStats != nil {
-		res.WatchdogTrips = wdRep.ArtemisStats.WatchdogTrips
+	if _, err := sweep(o, steps, func(_ int, step func() error) (struct{}, error) {
+		return struct{}{}, step()
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

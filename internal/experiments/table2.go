@@ -36,22 +36,29 @@ type Table2Row struct {
 func Table2(o Options) ([]Table2Row, error) {
 	o = o.withDefaults()
 
-	artRep, _, err := runHealth(core.Artemis, continuous(), o, nil)
-	if err != nil {
-		return nil, fmt.Errorf("table 2 (ARTEMIS): %w", err)
+	type t2run struct {
+		name string
+		sys  core.System
+		hook func(*core.Config)
 	}
-	mayRep, _, err := runHealth(core.Mayfly, continuous(), o, nil)
-	if err != nil {
-		return nil, fmt.Errorf("table 2 (Mayfly): %w", err)
+	runs := []t2run{
+		{"ARTEMIS", core.Artemis, nil},
+		{"Mayfly", core.Mayfly, nil},
+		{"integrity", core.Artemis, func(cfg *core.Config) { cfg.Integrity = true }},
 	}
-	intRep, _, err := runHealth(core.Artemis, continuous(), o, func(cfg *core.Config) {
-		cfg.Integrity = true
+	reps, err := sweep(o, runs, func(_ int, r t2run) (*core.Report, error) {
+		rep, _, err := runHealth(r.sys, continuous(), o, r.hook)
+		if err != nil {
+			return nil, fmt.Errorf("table 2 (%s): %w", r.name, err)
+		}
+		return rep, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("table 2 (integrity): %w", err)
+		return nil, err
 	}
+	artRep, mayRep, intRep := reps[0], reps[1], reps[2]
 
-	res, err := health.New().Compile()
+	res, err := health.CompiledShared()
 	if err != nil {
 		return nil, err
 	}

@@ -25,12 +25,13 @@ type WearRow struct {
 // an endurance budget or a wear-levelling allocator would have to absorb.
 func Wear(o Options) ([]WearRow, error) {
 	o = o.withDefaults()
-	var rows []WearRow
-	for _, sys := range []core.System{core.Artemis, core.Mayfly} {
+	systems := []core.System{core.Artemis, core.Mayfly}
+	perSys, err := sweep(o, systems, func(_ int, sys core.System) ([]WearRow, error) {
 		rep, _, err := runHealth(sys, continuous(), o, nil)
 		if err != nil {
 			return nil, fmt.Errorf("wear (%v): %w", sys, err)
 		}
+		var rows []WearRow
 		for _, owner := range sortedKeys(rep.Footprints) {
 			rows = append(rows, WearRow{
 				System:    sys,
@@ -39,6 +40,14 @@ func Wear(o Options) ([]WearRow, error) {
 				WearBytes: rep.Wear[owner],
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []WearRow
+	for _, rs := range perSys {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }

@@ -15,6 +15,7 @@ package health
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tinysystems/artemis-go/internal/spec"
 	"github.com/tinysystems/artemis-go/internal/task"
@@ -168,3 +169,19 @@ func (a *App) Compile() (*transform.Result, error) {
 	}
 	return transform.Compile(s, transform.Options{Graph: a.Graph, DataVars: Keys()})
 }
+
+// sharedCompiled caches one compiled program for the whole process. Every
+// App built by this package has a topology-identical graph (same task
+// names, same paths), so the same compiled result serves them all; the
+// spec and graph are fixed at compile time of the package, making the
+// cache sound for the process lifetime.
+var sharedCompiled = sync.OnceValues(func() (*transform.Result, error) {
+	return New().Compile()
+})
+
+// CompiledShared returns the process-wide compiled Figure-5 monitor
+// program for handing to core.Config.Compiled. The result is immutable —
+// the runtime and monitors only ever read it — so it is safe to share
+// across concurrent simulations; internal/experiments race-tests this.
+// Callers must not modify the returned Result.
+func CompiledShared() (*transform.Result, error) { return sharedCompiled() }

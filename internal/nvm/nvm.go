@@ -45,6 +45,13 @@ type Memory struct {
 	stats Stats
 	wear  map[string]int64 // owner -> bytes written (endurance accounting)
 
+	// hash is the incremental fingerprint of data, maintained on every
+	// byte stored (write path and FlipBit). It is an XOR of per-position
+	// mixes with mixByte(off, 0) == 0, so a fresh zeroed Memory needs no
+	// initialisation pass and Hash() is O(1) — the chaos explorer calls it
+	// after every write while pruning.
+	hash uint64
+
 	// crashAfter, when positive, counts down with every byte written; when
 	// it reaches zero the crash hook runs (typically panicking with the
 	// device's power-failure sentinel), leaving a torn multi-byte write.
@@ -205,7 +212,10 @@ func (m *Memory) write(off int, p []byte) {
 		m.wear[owner] += int64(len(p))
 	}
 	for i, b := range p {
-		m.data[off+i] = b
+		if old := m.data[off+i]; old != b {
+			m.hash ^= mixByte(off+i, old) ^ mixByte(off+i, b)
+			m.data[off+i] = b
+		}
 		m.stats.BytesWritten++
 		if m.crashAfter > 0 {
 			m.crashAfter--
@@ -260,22 +270,49 @@ func (m *Memory) FlipBit(off int, bit uint) {
 	if bit > 7 {
 		panic(fmt.Sprintf("nvm: bit index %d out of range", bit))
 	}
-	m.data[off] ^= 1 << bit
+	old := m.data[off]
+	flipped := old ^ (1 << bit)
+	m.hash ^= mixByte(off, old) ^ mixByte(off, flipped)
+	m.data[off] = flipped
 }
 
-// Hash returns an FNV-1a fingerprint of the entire persistent image.
-// Because recovery after a power failure depends only on FRAM contents
-// (all volatile state is lost), two crash points with equal hashes have
+// Hash returns a fingerprint of the entire persistent image. Because
+// recovery after a power failure depends only on FRAM contents (all
+// volatile state is lost), two crash points with equal hashes have
 // identical recovery behaviour — the pruning rule crash explorers use.
-func (m *Memory) Hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range m.data {
-		h ^= uint64(b)
-		h *= prime64
+//
+// The fingerprint is maintained incrementally as bytes are stored, so
+// Hash is O(1) regardless of memory size; the chaos explorer calls it
+// after every write of a reference run. Hash values are only meaningful
+// for comparison against other Hash values from the same process.
+func (m *Memory) Hash() uint64 { return m.hash }
+
+// mixByte maps one (position, byte) pair to its contribution to the
+// image fingerprint. The hash is the XOR of mixByte over all positions;
+// storing a byte replaces the old contribution with the new one via two
+// XORs. mixByte(off, 0) == 0 by construction, so a zeroed Memory hashes
+// to 0 without an initialisation pass. Nonzero inputs go through a
+// splitmix64-style finaliser so single-bit differences in position or
+// value diffuse across the word.
+func mixByte(off int, b byte) uint64 {
+	if b == 0 {
+		return 0
+	}
+	x := uint64(off)<<8 | uint64(b)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// recomputeHash rebuilds the fingerprint from the full image; tests use
+// it to cross-check the incremental maintenance.
+func (m *Memory) recomputeHash() uint64 {
+	var h uint64
+	for off, b := range m.data {
+		h ^= mixByte(off, b)
 	}
 	return h
 }
