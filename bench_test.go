@@ -139,6 +139,49 @@ func benchmarkSingleRun(b *testing.B, sys core.System) {
 	}
 }
 
+// BenchmarkTelemetry measures the observability tax on a complete health
+// run: "off" is the zero-cost baseline (nil tracer, every hook a no-op),
+// "volatile" records every event in host memory only, and "flight64"
+// additionally persists each event batch through a depth-64 NVM ring —
+// the full crash-resilient configuration chaos campaigns use.
+func BenchmarkTelemetry(b *testing.B) {
+	cases := []struct {
+		name        string
+		telemetry   bool
+		flightDepth int
+	}{
+		{"off", false, 0},
+		{"volatile", true, 0},
+		{"flight64", true, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				app := health.New()
+				f, err := core.New(core.Config{
+					System:      core.Artemis,
+					Graph:       app.Graph,
+					StoreKeys:   health.Keys(),
+					SpecSource:  health.SpecSource,
+					Supply:      core.SupplyConfig{Kind: core.SupplyContinuous},
+					Telemetry:   c.telemetry,
+					FlightDepth: c.flightDepth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := f.Run()
+				if err != nil || !rep.Completed {
+					b.Fatalf("run failed: %v %+v", err, rep)
+				}
+				if c.telemetry && f.Telemetry().EventCount() == 0 {
+					b.Fatal("instrumented run recorded nothing")
+				}
+			}
+		})
+	}
+}
+
 // benchEvents is a representative event stream over the benchmark alphabet.
 func benchEvents(n int) []ir.Event {
 	tasks := []string{"bodyTemp", "calcAvg", "accel", "send", "micSense"}
@@ -301,7 +344,7 @@ func BenchmarkFlipCampaign(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				camp := chaos.NewHealthFlipCampaign(5, 24, false)
+				camp := chaos.NewHealthFlipCampaign(5, 24, false, 0)
 				camp.Workers = w
 				if _, err := camp.Run(); err != nil {
 					b.Fatal(err)

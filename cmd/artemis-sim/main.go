@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/tinysystems/artemis-go/internal/action"
 	"github.com/tinysystems/artemis-go/internal/camera"
@@ -27,6 +28,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/device"
 	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
 	"github.com/tinysystems/artemis-go/internal/monitor"
 	"github.com/tinysystems/artemis-go/internal/nvm"
@@ -66,6 +68,10 @@ func run(args []string, w io.Writer) error {
 		scrubStr = fs.String("scrub-interval", "1s", "integrity scrub period (e.g. 500ms); 0 disables the background scrubber")
 		watchdog = fs.Int("watchdog-limit", 0, "consecutive boots dying at the same task before the watchdog fails the path; 0 disables")
 		workers  = fs.Int("workers", 1, "concurrent runs per chaos fault family (with -chaos); 0 = one per CPU, reports identical at any count")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
+		metOut   = fs.String("metrics", "", "write Prometheus-style text metrics to this file")
+		flight   = fs.Int("flight", 0, "telemetry flight-recorder depth in events (crash-resilient NVM ring); 0 = volatile tracing only")
+		dumpFSM  = fs.String("dump-fsm", "", "write each generated monitor machine as Graphviz DOT into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +97,18 @@ func run(args []string, w io.Writer) error {
 	if *workers != 1 && !*runChaos {
 		return fmt.Errorf("-workers parallelises the -chaos fault families; a single simulation run has nothing to fan out")
 	}
+	if *flight < 0 {
+		return fmt.Errorf("-flight %d: must be >= 0 (0 disables the NVM flight recorder)", *flight)
+	}
+	if (*traceOut != "" || *metOut != "" || *flight > 0) && *system != "artemis" {
+		return fmt.Errorf("-trace/-metrics/-flight require -system artemis (telemetry hooks live in the ARTEMIS runtime)")
+	}
+	if *dumpFSM != "" && *runChaos {
+		return fmt.Errorf("-dump-fsm needs a single compiled deployment; drop -chaos")
+	}
+	if *dumpFSM != "" && *system != "artemis" {
+		return fmt.Errorf("-dump-fsm requires -system artemis (the Mayfly baseline compiles no monitor machines)")
+	}
 	if *runChaos {
 		switch {
 		case *burst != "" || *burstOff != "" || *charging != "" || *harvest > 0:
@@ -104,7 +122,7 @@ func run(args []string, w io.Writer) error {
 		case *faultRun <= 0:
 			return fmt.Errorf("-chaos-fault-runs %d: must be positive", *faultRun)
 		}
-		camp := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun, *useInteg)
+		camp := chaos.NewHealthCampaign(*seed, *crashPts, *faultRun, *faultRun, *useInteg, *flight)
 		if *workers == 0 {
 			camp.Workers = parallel.DefaultWorkers()
 		} else {
@@ -115,6 +133,16 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprint(w, rep.String())
+		if *traceOut != "" || *metOut != "" {
+			// The exported artifacts come from one dedicated serial
+			// instrumented run on the flip campaign's supply, not from the
+			// campaign's worker pool, so they are byte-identical at any
+			// -workers count. Written before the pass/fail verdict so a
+			// failing campaign still leaves its artifacts behind.
+			if err := writeChaosTelemetry(*traceOut, *metOut, *flight, *useInteg); err != nil {
+				return err
+			}
+		}
 		if rep.Failures() > 0 {
 			return fmt.Errorf("chaos campaign found %d failures", rep.Failures())
 		}
@@ -127,6 +155,8 @@ func run(args []string, w io.Writer) error {
 		Supply:        core.SupplyConfig{Kind: core.SupplyContinuous},
 		Integrity:     *useInteg,
 		WatchdogLimit: *watchdog,
+		Telemetry:     *traceOut != "" || *metOut != "" || *flight > 0,
+		FlightDepth:   *flight,
 	}
 	if *useInteg {
 		if scrub == 0 {
@@ -218,6 +248,16 @@ func run(args []string, w io.Writer) error {
 	if *showIR && f.CompiledIR() != nil {
 		fmt.Fprintln(w, f.CompiledIR().String())
 	}
+	if *dumpFSM != "" {
+		prog := f.CompiledIR()
+		if prog == nil {
+			return fmt.Errorf("-dump-fsm: deployment compiled no monitor machines")
+		}
+		if err := dumpFSMs(*dumpFSM, prog); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d machine(s) to %s\n", len(prog.Machines), *dumpFSM)
+	}
 	if *verbose {
 		f.OnReboot(func(n int, off simclock.Duration) {
 			fmt.Fprintf(w, "power failure #%d: charging for %s\n", n, trace.FormatDuration(off))
@@ -229,7 +269,88 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	printReport(w, f, rep, outputKeys)
+	return writeTelemetry(f, *traceOut, *metOut)
+}
+
+// writeTelemetry exports the run's trace and metrics to the requested paths.
+// Both paths empty is a no-op, so every non-instrumented run passes through.
+func writeTelemetry(f *core.Framework, tracePath, metricsPath string) error {
+	tel := f.Telemetry()
+	if tel == nil {
+		if tracePath != "" || metricsPath != "" {
+			return fmt.Errorf("telemetry not enabled on this deployment")
+		}
+		return nil
+	}
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(file); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	if err := write(tracePath, tel.ChromeTrace); err != nil {
+		return fmt.Errorf("-trace: %v", err)
+	}
+	if err := write(metricsPath, tel.Metrics); err != nil {
+		return fmt.Errorf("-metrics: %v", err)
+	}
 	return nil
+}
+
+// writeChaosTelemetry runs one instrumented health deployment on the flip
+// campaign's intermittent supply (800 µJ boots, 1 s recharge) and exports
+// its artifacts. Serial and RNG-free, so the output never depends on the
+// campaign's -workers fan-out.
+func writeChaosTelemetry(tracePath, metricsPath string, flightDepth int, withIntegrity bool) error {
+	if flightDepth == 0 {
+		flightDepth = 64
+	}
+	app := health.New()
+	cfg := core.Config{
+		System:      core.Artemis,
+		Graph:       app.Graph,
+		StoreKeys:   health.Keys(),
+		SpecSource:  health.SpecSource,
+		Supply:      core.SupplyConfig{Kind: core.SupplyFixedDelay, BudgetUJ: 800, Delay: simclock.Second},
+		Telemetry:   true,
+		FlightDepth: flightDepth,
+	}
+	if withIntegrity {
+		cfg.Integrity = true
+		cfg.ScrubInterval = 50 * simclock.Millisecond
+		cfg.WatchdogLimit = 8
+	}
+	f, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Run(); err != nil {
+		return err
+	}
+	return writeTelemetry(f, tracePath, metricsPath)
+}
+
+// dumpFSMs writes one Graphviz file per compiled monitor machine, named
+// after the machine, plus a combined monitors.dot with every cluster.
+func dumpFSMs(dir string, prog *ir.Program) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range prog.Machines {
+		doc := ir.DOT(&ir.Program{Machines: []*ir.Machine{m}})
+		if err := os.WriteFile(filepath.Join(dir, m.Name+".dot"), []byte(doc), 0o644); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "monitors.dot"), []byte(ir.DOT(prog)), 0o644)
 }
 
 func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []string) {
@@ -263,6 +384,13 @@ func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []
 	}
 	if st := rep.MayflyStats; st != nil {
 		fmt.Fprintf(w, "decisions:  pathRestarts=%d taskRuns=%d\n", st.PathRestarts, st.TaskRuns)
+	}
+	if tel := f.Telemetry(); tel != nil {
+		fmt.Fprintf(w, "telemetry:  %d events", tel.EventCount())
+		if d := tel.FlightDepth(); d > 0 {
+			fmt.Fprintf(w, ", %d persisted (flight depth %d)", tel.PersistedCount(), d)
+		}
+		fmt.Fprintf(w, ", %d commit flips\n", tel.CommitFlips())
 	}
 	if ist := rep.Integrity; ist != nil {
 		fmt.Fprintf(w, "integrity:  %d guards, %d checks (%d scrubs, %d boot verifies), %d corruptions -> %d restored, %d reset, %d quarantined\n",

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -194,6 +197,12 @@ func TestRejectedFlagCombos(t *testing.T) {
 		{[]string{"-integrity", "-scrub-interval", "soon"}, "-scrub-interval"},
 		{[]string{"-integrity", "-system", "mayfly"}, "-system artemis"},
 		{[]string{"-watchdog-limit", "5", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-flight", "-1"}, "must be >= 0"},
+		{[]string{"-flight", "32", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-trace", "/tmp/t.json", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-metrics", "/tmp/m.txt", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-dump-fsm", "/tmp/fsm", "-chaos"}, "drop -chaos"},
+		{[]string{"-dump-fsm", "/tmp/fsm", "-system", "mayfly"}, "-system artemis"},
 	}
 	for _, c := range cases {
 		err := run(c.args, &bytes.Buffer{})
@@ -217,6 +226,120 @@ func TestIntegrityFlagSmoke(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestTelemetryFlagsSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-charging", "1s",
+		"-trace", tracePath, "-metrics", metricsPath, "-flight", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "telemetry:") {
+		t.Errorf("report missing telemetry line:\n%s", out.String())
+	}
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(traceBytes) {
+		t.Fatal("-trace output is not valid JSON")
+	}
+	for _, want := range []string{`"displayTimeUnit":"ms"`, `"name":"tasks"`, `"name":"charging"`} {
+		if !strings.Contains(string(traceBytes), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	metricsBytes, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"artemis_boots_total", "artemis_task_commits_total{task=\"bodyTemp\"}", "artemis_flight_persisted_total"} {
+		if !strings.Contains(string(metricsBytes), want) {
+			t.Errorf("metrics missing %s:\n%s", want, metricsBytes)
+		}
+	}
+}
+
+func TestTelemetryDeterministicAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	export := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := run([]string{"-charging", "1s", "-trace", p, "-flight", "32"}, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := export("a.json"), export("b.json"); a != b {
+		t.Fatal("identical runs produced different trace files")
+	}
+}
+
+func TestChaosTelemetryArtifactsWorkerInvariant(t *testing.T) {
+	dir := t.TempDir()
+	export := func(suffix string, workers string) (string, string) {
+		tp := filepath.Join(dir, "trace-"+suffix+".json")
+		mp := filepath.Join(dir, "metrics-"+suffix+".txt")
+		args := []string{"-chaos", "-seed", "42", "-chaos-crash-points", "30", "-chaos-fault-runs", "2",
+			"-workers", workers, "-flight", "32", "-trace", tp, "-metrics", mp}
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(tb), string(mb)
+	}
+	t1, m1 := export("serial", "1")
+	t2, m2 := export("parallel", "0")
+	if t1 != t2 {
+		t.Error("-workers changed the chaos trace artifact")
+	}
+	if m1 != m2 {
+		t.Error("-workers changed the chaos metrics artifact")
+	}
+	if !json.Valid([]byte(t1)) {
+		t.Error("chaos trace artifact is not valid JSON")
+	}
+	if !strings.Contains(m1, "artemis_boots_total") {
+		t.Error("chaos metrics artifact malformed")
+	}
+}
+
+func TestDumpFSMFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dump-fsm", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 8 machine(s)") {
+		t.Errorf("missing dump confirmation:\n%s", out.String())
+	}
+	combined, err := os.ReadFile(filepath.Join(dir, "monitors.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(combined), "digraph monitors") {
+		t.Fatal("combined DOT malformed")
+	}
+	single, err := os.ReadFile(filepath.Join(dir, "maxTries_accel.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(single), `label="maxTries_accel"`) {
+		t.Fatalf("per-machine DOT missing its cluster label:\n%s", single)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/nvm"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
 )
 
 // Owner is the NVM accounting label for runtime state (Table 2).
@@ -108,6 +109,12 @@ type Config struct {
 	// on the scrub schedule, and lets the runtime escalate quarantined
 	// regions through the normal action pipeline.
 	Integrity *integrity.Manager
+
+	// Telemetry, when non-nil, records task lifecycle events (start/end/
+	// commit), executed corrective actions, and commit-group selector
+	// flips. Every emit method is a no-op on a nil tracer, so the disabled
+	// path costs nothing on the task-commit hot path.
+	Telemetry *telemetry.Tracer
 
 	// WatchdogLimit, when positive, arms the forward-progress watchdog: a
 	// persistent per-position consecutive-boot counter (committed in the
@@ -237,6 +244,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	c.Join(group)
 	cfg.Store.Join(group)
+	if cfg.Telemetry != nil {
+		group.SetObserver(cfg.Telemetry.CommitFlip)
+	}
 	r := &Runtime{
 		cfg:   cfg,
 		state: &controlState{c: c},
@@ -415,6 +425,7 @@ func (r *Runtime) escalateWatchdog() error {
 			},
 		}, dec)
 	}
+	r.cfg.Telemetry.ActionTaken(dec.Action.String(), dec.Machine, dec.Path, r.cfg.MCU.Now())
 	r.stats.PathSkips++
 	r.skipPath(pathID)
 	return nil
@@ -457,6 +468,7 @@ func (r *Runtime) escalateQuarantine(g *integrity.Guard) error {
 		Path:    pathID,
 	}}, pathID)
 	r.stats.Decisions[dec.Action]++
+	r.cfg.Telemetry.ActionTaken(dec.Action.String(), dec.Machine, dec.Path, r.cfg.MCU.Now())
 	r.stats.PathSkips++
 	r.skipPath(pathID)
 	return nil
@@ -510,6 +522,8 @@ func (r *Runtime) handleStart() error {
 	if s.getB(wEvDelivered) {
 		// New start event; restamped on every re-execution attempt.
 		r.newEvent(ir.EvStart, r.cfg.MCU.Now(), 0)
+		r.cfg.Telemetry.TaskStart(r.currentTask().Name, r.currentPath().ID,
+			simclock.Time(s.getI(wEvTime)))
 	}
 	dec, err := r.deliver()
 	if err != nil {
@@ -553,6 +567,8 @@ func (r *Runtime) handleEnd() error {
 		// verbatim on replays (§4.1.3).
 		data := r.depData()
 		r.newEvent(ir.EvEnd, simclock.Time(s.getI(wFinishTime)), data)
+		r.cfg.Telemetry.TaskEnd(r.currentTask().Name, r.currentPath().ID,
+			simclock.Time(s.getI(wFinishTime)), data)
 	}
 	dec, err := r.deliver()
 	if err != nil {
@@ -640,6 +656,7 @@ func (r *Runtime) deliver() (monitor.Decision, error) {
 		if r.cfg.OnDecision != nil {
 			r.cfg.OnDecision(ev, dec)
 		}
+		r.cfg.Telemetry.ActionTaken(dec.Action.String(), dec.Machine, dec.Path, ev.Time)
 	}
 	return dec, nil
 }
@@ -672,6 +689,7 @@ func (r *Runtime) runCurrentTask() error {
 	s.setI(wStatus, statusFinished)
 	s.setB(wEvDelivered, true)
 	s.commit()
+	r.cfg.Telemetry.TaskCommit(t.Name, r.currentPath().ID, mcu.Now())
 	return nil
 }
 

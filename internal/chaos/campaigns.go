@@ -295,6 +295,10 @@ type FlipReport struct {
 	Unrecoverable int // detected but beyond repair (quarantine / ErrCorrupt)
 	Crashed       int // uncontrolled panic — a robustness failure
 	CrashLogs     []string
+	// FlightDumps holds the flight-recorder dump of every unrecoverable
+	// outcome, in run order — the causal history a post-mortem boot would
+	// read from NVM. Populated only when Build enables a flight recorder.
+	FlightDumps []string
 	// WithIntegrity echoes the campaign configuration.
 	WithIntegrity bool
 	// Integrity aggregates the self-healing layer's counters across runs.
@@ -317,6 +321,10 @@ func (r *FlipReport) String() string {
 	}
 	for _, l := range r.CrashLogs {
 		fmt.Fprintf(&b, "            CRASH %s\n", l)
+	}
+	for i, d := range r.FlightDumps {
+		fmt.Fprintf(&b, "            unrecoverable #%d %s", i+1,
+			strings.ReplaceAll(d, "\n  ", "\n              "))
 	}
 	return b.String()
 }
@@ -364,6 +372,7 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 		crashed  bool
 		crashLog string
 		unrec    bool
+		flight   string
 		detected bool
 		recov    bool
 		masked   bool
@@ -400,6 +409,10 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 				// Flagged, but beyond repair: the layer detected the
 				// corruption and failed safe instead of computing on bad data.
 				v.unrec = true
+				// Attach the causal history the device itself persisted:
+				// the committed flight ring is exactly what the next boot's
+				// post-mortem would read.
+				v.flight = f.Telemetry().FlightDump()
 			case err != nil || rep.NonTerminated || !rep.Completed:
 				v.detected = true
 			case v.ist.ShadowRestores+v.ist.Resets > 0:
@@ -430,6 +443,9 @@ func (c *FlipCampaign) Run() (*FlipReport, error) {
 			out.CrashLogs = append(out.CrashLogs, v.crashLog)
 		case v.unrec:
 			out.Unrecoverable++
+			if v.flight != "" {
+				out.FlightDumps = append(out.FlightDumps, v.flight)
+			}
 		case v.detected:
 			out.Detected++
 		case v.recov:

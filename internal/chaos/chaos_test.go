@@ -144,7 +144,7 @@ func TestHealthSensorCampaign(t *testing.T) {
 // runtime uncontrolled — even with the integrity layer off, corrupted
 // control loads surface as typed errors (satellite hardening).
 func TestHealthFlipCampaign(t *testing.T) {
-	rep, err := NewHealthFlipCampaign(5, 8, false).Run()
+	rep, err := NewHealthFlipCampaign(5, 8, false, 0).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestHealthFlipCampaign(t *testing.T) {
 // property the CLI's --chaos mode relies on.
 func TestCampaignReportDeterministic(t *testing.T) {
 	run := func() string {
-		rep, err := NewHealthCampaign(42, 60, 3, 3, false).Run()
+		rep, err := NewHealthCampaign(42, 60, 3, 3, false, 0).Run()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -186,6 +186,16 @@ type Explorer struct {
 	// oracle tolerates; the injected failure itself accounts for the +1.
 	RebootSlack int
 
+	// PostCheck, when non-nil, runs extra oracle checks against the
+	// recovered framework itself after the built-in four (e.g. telemetry
+	// flight-ring well-formedness). Failures it returns must use oracle
+	// names listed in PostOracles so pass/fail counting stays complete.
+	PostCheck func(f *core.Framework, ref, got Outcome) []OracleFailure
+
+	// PostOracles names the oracles PostCheck may report, adding them to
+	// the per-oracle pass/fail tally. Empty when PostCheck is nil.
+	PostOracles []string
+
 	// Workers is how many crash points to explore concurrently. 0 or 1
 	// explores serially. Each worker replays on its own freshly built
 	// deployment, and point results are aggregated in schedule order, so
@@ -259,7 +269,9 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 		for _, fr := range pr.Failures {
 			failed[fr.Oracle] = true
 		}
-		for _, name := range []string{OracleAtomicity, OracleConsistency, OracleProgress, OracleIdempotence} {
+		oracles := []string{OracleAtomicity, OracleConsistency, OracleProgress, OracleIdempotence}
+		oracles = append(oracles, e.PostOracles...)
+		for _, name := range oracles {
 			if failed[name] {
 				out.OracleFail[name]++
 			} else {
@@ -335,6 +347,9 @@ func (e *Explorer) explorePoint(k int, ref Outcome) (PointResult, error) {
 	got := capture(f, rep, e.Keys)
 	pr.Reboots = got.Reboots
 	pr.Failures = append(pr.Failures, e.judge(ref, got)...)
+	if e.PostCheck != nil {
+		pr.Failures = append(pr.Failures, e.PostCheck(f, ref, got)...)
+	}
 	return pr, nil
 }
 

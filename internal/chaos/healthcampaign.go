@@ -177,7 +177,10 @@ func withIntegrityConfig(cfg *core.Config) {
 // runtime must never crash uncontrolled, with or without the integrity
 // layer; with it, flips that land in a committed image are repaired from
 // the shadow (Recovered) or flagged beyond repair (Unrecoverable).
-func NewHealthFlipCampaign(seed int64, runs int, withIntegrity bool) *FlipCampaign {
+// flightDepth > 0 additionally enables telemetry with an NVM flight recorder
+// of that depth, so every Unrecoverable verdict carries the device's last
+// persisted events in the report.
+func NewHealthFlipCampaign(seed int64, runs int, withIntegrity bool, flightDepth int) *FlipCampaign {
 	return &FlipCampaign{
 		Build: func() (*core.Framework, error) {
 			return buildHealth(func(cfg *core.Config, _ *health.App) {
@@ -188,6 +191,10 @@ func NewHealthFlipCampaign(seed int64, runs int, withIntegrity bool) *FlipCampai
 				}
 				if withIntegrity {
 					withIntegrityConfig(cfg)
+				}
+				if flightDepth > 0 {
+					cfg.Telemetry = true
+					cfg.FlightDepth = flightDepth
 				}
 			})
 		},
@@ -225,8 +232,10 @@ func NewHealthIntegrityExplorer(seed int64, budget int) *Explorer {
 // benchmark — the configuration `artemis-sim --chaos` runs. crashBudget
 // bounds the crash exploration (0 = exhaustive); radioRuns and flipRuns
 // size the seeded campaigns. withIntegrity runs the crash sweep and the
-// flip campaign with the self-healing layer enabled.
-func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withIntegrity bool) *Campaign {
+// flip campaign with the self-healing layer enabled; flightDepth > 0 runs
+// the flip campaign with the telemetry flight recorder attached so
+// unrecoverable verdicts include a black-box dump.
+func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withIntegrity bool, flightDepth int) *Campaign {
 	crash := NewHealthExplorer(seed, crashBudget)
 	if withIntegrity {
 		crash = NewHealthIntegrityExplorer(seed, crashBudget)
@@ -236,6 +245,40 @@ func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withInt
 		Crash:  crash,
 		Radio:  NewHealthRadioCampaign(seed, radioRuns),
 		Sensor: NewHealthSensorCampaign(),
-		Flip:   NewHealthFlipCampaign(seed, flipRuns, withIntegrity),
+		Flip:   NewHealthFlipCampaign(seed, flipRuns, withIntegrity, flightDepth),
+	}
+}
+
+// NewHealthTelemetryExplorer is the exhaustive crash explorer with the
+// telemetry flight recorder attached: the recorder's NVM ring commits
+// through the same two-phase protocol as everything else, so a crash after
+// any single persistent write must leave the committed ring decodable and
+// its sequence numbers intact. The extra "flight" oracle checks exactly
+// that on every surviving run, proving the recorder itself is crash-safe
+// and never perturbs the four base oracles.
+func NewHealthTelemetryExplorer(seed int64, budget int) *Explorer {
+	return &Explorer{
+		Build: func() (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				cfg.Telemetry = true
+				cfg.FlightDepth = 32
+			})
+		},
+		Keys:        healthKeys,
+		ExactKeys:   healthExactKeys,
+		Invariant:   healthInvariant,
+		Seed:        seed,
+		Budget:      budget,
+		PostOracles: []string{"flight"},
+		PostCheck: func(f *core.Framework, ref, got Outcome) []OracleFailure {
+			tel := f.Telemetry()
+			if tel == nil {
+				return []OracleFailure{{Oracle: "flight", Detail: "telemetry tracer missing from instrumented build"}}
+			}
+			if err := tel.VerifyFlight(); err != nil {
+				return []OracleFailure{{Oracle: "flight", Detail: err.Error()}}
+			}
+			return nil
+		},
 	}
 }

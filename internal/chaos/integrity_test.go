@@ -13,7 +13,7 @@ import (
 // repaired the flip and the run finished normally (the PR's headline
 // acceptance criterion).
 func TestHealthFlipCampaignWithIntegrityRecovers(t *testing.T) {
-	rep, err := NewHealthFlipCampaign(5, 40, true).Run()
+	rep, err := NewHealthFlipCampaign(5, 40, true, 0).Run()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,7 @@ func TestExplorerParallelDeterminism(t *testing.T) {
 }
 
 func TestFlipCampaignParallelDeterminism(t *testing.T) {
-	serialRep, err := NewHealthFlipCampaign(5, 12, false).Run()
+	serialRep, err := NewHealthFlipCampaign(5, 12, false, 0).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestFlipCampaignParallelDeterminism(t *testing.T) {
 
 	check := func(label string) {
 		t.Helper()
-		camp := NewHealthFlipCampaign(5, 12, false)
+		camp := NewHealthFlipCampaign(5, 12, false, 0)
 		camp.Workers = 4
 		rep, err := camp.Run()
 		if err != nil {
@@ -73,13 +73,13 @@ func TestFlipCampaignParallelDeterminism(t *testing.T) {
 }
 
 func TestFullCampaignParallelDeterminism(t *testing.T) {
-	serialRep, err := NewHealthCampaign(42, 40, 3, 6, false).Run()
+	serialRep, err := NewHealthCampaign(42, 40, 3, 6, false, 0).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	serial := serialRep.String()
 
-	camp := NewHealthCampaign(42, 40, 3, 6, false)
+	camp := NewHealthCampaign(42, 40, 3, 6, false, 0)
 	camp.Workers = 4
 	rep, err := camp.Run()
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/simclock"
 	"github.com/tinysystems/artemis-go/internal/spec"
 	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
 	"github.com/tinysystems/artemis-go/internal/transform"
 )
 
@@ -171,6 +172,17 @@ type Config struct {
 	// task, the path is failed through action arbitration instead of
 	// boot-looping. 0 disables the watchdog.
 	WatchdogLimit int
+
+	// Telemetry enables the structured event tracer (ARTEMIS only): device
+	// boots/power failures, task lifecycle, monitor transitions, actions,
+	// and integrity repairs, exportable as Chrome trace JSON, JSONL, and
+	// Prometheus-style metrics. Off by default — the disabled path is
+	// allocation-free and perturbs neither write counts nor energy.
+	Telemetry bool
+	// FlightDepth, when positive, attaches the crash-resilient NVM flight
+	// recorder with that many ring slots and implies Telemetry. Its NVM
+	// traffic and CPU cycles are charged to device.CompTelemetry.
+	FlightDepth int
 }
 
 // Report summarises one application run.
@@ -207,6 +219,7 @@ type Framework struct {
 	remote *monitor.Remote
 	res    *transform.Result
 	integ  *integrity.Manager
+	tel    *telemetry.Tracer
 }
 
 // New assembles a deployment.
@@ -270,6 +283,34 @@ func New(cfg Config) (*Framework, error) {
 	if cfg.Compiled != nil && cfg.System != Artemis {
 		return nil, errors.New("core: Config.Compiled requires the ARTEMIS runtime")
 	}
+	if cfg.FlightDepth < 0 {
+		return nil, fmt.Errorf("core: FlightDepth must be >= 0, got %d", cfg.FlightDepth)
+	}
+	if (cfg.Telemetry || cfg.FlightDepth > 0) && cfg.System != Artemis {
+		return nil, errors.New("core: Telemetry and FlightDepth require the ARTEMIS runtime")
+	}
+	var tel *telemetry.Tracer
+	if cfg.Telemetry || cfg.FlightDepth > 0 {
+		tel = telemetry.New()
+		if cfg.FlightDepth > 0 {
+			if err := tel.AttachFlight(mem, cfg.FlightDepth); err != nil {
+				return nil, err
+			}
+			// Flight-recorder persistence runs on-device: its FRAM traffic
+			// and slot-formatting cycles are charged under CompTelemetry.
+			// The component switch happens before the staged writes so the
+			// flush that Exec triggers attributes them correctly, and a
+			// brown-out inside the charge unwinds like any other failure.
+			tel.SetCharge(func(events int, persist func()) {
+				prev := mcu.SetComponent(device.CompTelemetry)
+				persist()
+				mcu.Exec(int64(events) * telemetry.RecordCycles)
+				mcu.SetComponent(prev)
+			})
+		}
+		f.tel = tel
+		f.dev.Tracer = tel
+	}
 	var integ *integrity.Manager
 	if cfg.Integrity {
 		scrub := cfg.ScrubInterval
@@ -280,6 +321,7 @@ func New(cfg Config) (*Framework, error) {
 			scrub = 0 // boot verification only
 		}
 		integ = integrity.NewManager(mem, mcu, scrub)
+		integ.SetTracer(tel)
 		f.integ = integ
 	}
 	switch cfg.System {
@@ -301,6 +343,7 @@ func New(cfg Config) (*Framework, error) {
 		if err != nil {
 			return nil, err
 		}
+		mons.SetTracer(tel)
 		var deployed monitor.Interface = mons
 		switch {
 		case cfg.RemoteMonitors && cfg.ContinuationMonitors:
@@ -328,6 +371,7 @@ func New(cfg Config) (*Framework, error) {
 			MCU: mcu, Graph: cfg.Graph, Store: store, Monitors: deployed,
 			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps, OnDecision: cfg.OnDecision,
 			Extras: extras, Integrity: integ, WatchdogLimit: cfg.WatchdogLimit,
+			Telemetry: tel,
 		})
 		if err != nil {
 			return nil, err
@@ -410,6 +454,9 @@ func (f *Framework) Remote() *monitor.Remote { return f.remote }
 // Integrity returns the self-healing layer's manager, or nil when disabled.
 func (f *Framework) Integrity() *integrity.Manager { return f.integ }
 
+// Telemetry returns the structured event tracer, or nil when disabled.
+func (f *Framework) Telemetry() *telemetry.Tracer { return f.tel }
+
 // CompiledIR returns the generated monitor program (nil for Mayfly); tools
 // print it for inspection.
 func (f *Framework) CompiledIR() *ir.Program {
@@ -443,6 +490,7 @@ func (f *Framework) Run() (*Report, error) {
 			device.CompRuntime:   f.mcu.UsageOf(device.CompRuntime),
 			device.CompMonitor:   f.mcu.UsageOf(device.CompMonitor),
 			device.CompIntegrity: f.mcu.UsageOf(device.CompIntegrity),
+			device.CompTelemetry: f.mcu.UsageOf(device.CompTelemetry),
 		},
 		Footprints: map[string]int{},
 		Wear:       map[string]int64{},

@@ -17,10 +17,12 @@ package device
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/tinysystems/artemis-go/internal/energy"
 	"github.com/tinysystems/artemis-go/internal/nvm"
 	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
 )
 
 // Component labels the code that is currently consuming time and energy.
@@ -34,6 +36,10 @@ const (
 	CompRuntime   Component = "runtime"
 	CompMonitor   Component = "monitor"
 	CompIntegrity Component = "integrity"
+	// CompTelemetry isolates the flight recorder's NVM traffic and CPU
+	// cycles, making the observability tax a measured line item instead of
+	// noise in the paper's comparisons.
+	CompTelemetry Component = "telemetry"
 )
 
 // Usage is the accumulated cost of one component.
@@ -249,6 +255,12 @@ type Device struct {
 	// OnReboot, when non-nil, observes each reboot: its ordinal and the
 	// charging delay that preceded it.
 	OnReboot func(n int, off simclock.Duration)
+
+	// Tracer, when non-nil, records boot, power-failure, and recharge
+	// events. Boot events are emitted inside the boot attempt, so a
+	// brown-out while telemetry persists its own records is recovered like
+	// any other power failure.
+	Tracer *telemetry.Tracer
 }
 
 // RunResult summarises one application execution.
@@ -276,7 +288,15 @@ func (d *Device) Run(boot func() error) (RunResult, error) {
 	startActive := d.MCU.TotalUsage().Time
 	reboots := 0
 	for {
-		err, failed := d.attempt(boot)
+		run := boot
+		if d.Tracer != nil {
+			n := reboots
+			run = func() error {
+				d.Tracer.Boot(n, d.MCU.Now())
+				return boot()
+			}
+		}
+		err, failed := d.attempt(run)
 		if !failed {
 			res := d.result(start, startEnergy, startActive, reboots)
 			res.Completed = err == nil
@@ -286,8 +306,17 @@ func (d *Device) Run(boot func() error) (RunResult, error) {
 		if reboots > maxReboots {
 			return d.result(start, startEnergy, startActive, reboots), ErrNonTermination
 		}
-		off := d.MCU.Supply.Recharge(d.MCU.Clock.Now())
+		failAt := d.MCU.Clock.Now()
+		off := d.MCU.Supply.Recharge(failAt)
 		d.MCU.Clock.PowerFailure(off)
+		if d.Tracer != nil {
+			d.Tracer.PowerFailure(failAt)
+			level := float64(d.MCU.EnergyLevel()) * 1e6
+			if math.IsInf(level, 0) || math.IsNaN(level) {
+				level = -1 // unmeasurable supply
+			}
+			d.Tracer.EnergyCharge(d.MCU.Clock.Now(), off, level)
+		}
 		if d.OnReboot != nil {
 			d.OnReboot(reboots, off)
 		}

@@ -59,7 +59,7 @@ func Recovery(o Options) (*RecoveryResult, error) {
 	// additionally parallelise their own runs.
 	steps := []func() error{
 		func() error {
-			camp := chaos.NewHealthFlipCampaign(5, 40, false)
+			camp := chaos.NewHealthFlipCampaign(5, 40, false, 0)
 			camp.Workers = o.Workers
 			rep, err := camp.Run()
 			if err != nil {
@@ -69,7 +69,7 @@ func Recovery(o Options) (*RecoveryResult, error) {
 			return nil
 		},
 		func() error {
-			camp := chaos.NewHealthFlipCampaign(5, 40, true)
+			camp := chaos.NewHealthFlipCampaign(5, 40, true, 0)
 			camp.Workers = o.Workers
 			rep, err := camp.Run()
 			if err != nil {

@@ -30,6 +30,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/device"
 	"github.com/tinysystems/artemis-go/internal/nvm"
 	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
 )
 
 // Owner is the NVM accounting owner for all guard metadata, so Table 2 can
@@ -163,7 +164,12 @@ type Manager struct {
 	clusters []*cluster // rebuilt lazily after Protect
 	pending  []*Guard   // quarantined guards awaiting runtime escalation
 	stats    Stats
+	tel      *telemetry.Tracer
 }
+
+// SetTracer attaches a telemetry tracer; each applied repair then emits a
+// ScrubRepair event naming the policy and the guard. Nil disables emission.
+func (m *Manager) SetTracer(t *telemetry.Tracer) { m.tel = t }
 
 // NewManager builds a manager scrubbing every scrubInterval of simulated
 // time (0 disables the scrubber; boot verification still runs).
@@ -314,6 +320,9 @@ func (m *Manager) verifyCluster(c *cluster) {
 			member.Reopen()
 		}
 		m.stats.ShadowRestores++
+		for _, g := range corrupt {
+			m.tel.ScrubRepair("shadowRestore", g.name, m.mcu.Now())
+		}
 		return
 	}
 
@@ -322,6 +331,7 @@ func (m *Manager) verifyCluster(c *cluster) {
 		if g.class == ClassMonitor && g.reset != nil {
 			g.reset() // recommits, which reseals the CRC via the hook
 			m.stats.Resets++
+			m.tel.ScrubRepair("reset", g.name, m.mcu.Now())
 			continue
 		}
 		m.quarantine(g)
@@ -338,6 +348,7 @@ func (m *Manager) quarantine(g *Guard) {
 	binary.LittleEndian.PutUint64(enc[:], uint64(crc32.ChecksumIEEE(g.buf)))
 	g.crc.InitImages(enc[:])
 	m.stats.Quarantines++
+	m.tel.ScrubRepair("quarantine", g.name, m.mcu.Now())
 	if !g.quarantined {
 		g.quarantined = true
 		m.pending = append(m.pending, g)

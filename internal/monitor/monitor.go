@@ -7,6 +7,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/nvm"
 	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
 	"github.com/tinysystems/artemis-go/internal/transform"
 )
 
@@ -29,6 +30,7 @@ type Monitor struct {
 	machine *ir.Machine
 	env     *persistentEnv
 	binding transform.Binding
+	tel     *telemetry.Tracer
 }
 
 // Machine returns the monitor's state machine definition.
@@ -47,6 +49,12 @@ func (m *Monitor) Deliver(ev Event) ([]ir.Failure, error) {
 	if m.env.lastSeq() == ev.Seq {
 		return m.env.storedVerdicts(), nil
 	}
+	// Capture the pre-step state only when tracing; replayed deliveries
+	// return above, so a transition is emitted exactly once per step.
+	var before int
+	if m.tel != nil {
+		before = m.env.State()
+	}
 	fs, err := ir.Step(m.machine, m.env, ev.Event)
 	if err != nil {
 		return nil, err
@@ -56,6 +64,14 @@ func (m *Monitor) Deliver(ev Event) ([]ir.Failure, error) {
 	}
 	m.env.setLastSeq(ev.Seq)
 	m.env.Commit()
+	if m.tel != nil {
+		if after := m.env.State(); after != before {
+			m.tel.MonitorTransition(m.machine.Name, m.stateName(before), m.stateName(after), ev.Time)
+		}
+		for _, f := range fs {
+			m.tel.PropertyFail(f.Machine, f.Action.String(), f.Path, ev.Time)
+		}
+	}
 	return fs, nil
 }
 
@@ -79,8 +95,9 @@ func (m *Monitor) Rollback() { m.env.rollback() }
 func (m *Monitor) Backing() *nvm.Committed { return m.env.c }
 
 // State returns the current state name, for inspection and tests.
-func (m *Monitor) State() string {
-	i := m.env.State()
+func (m *Monitor) State() string { return m.stateName(m.env.State()) }
+
+func (m *Monitor) stateName(i int) string {
 	if i < 0 || i >= len(m.machine.States) {
 		return fmt.Sprintf("invalid(%d)", i)
 	}
@@ -117,6 +134,17 @@ func NewSet(mem *nvm.Memory, res *transform.Result) (*Set, error) {
 
 // Monitors returns the set's monitors.
 func (s *Set) Monitors() []*Monitor { return s.monitors }
+
+// SetTracer attaches a telemetry tracer to every monitor in the set, which
+// then emits MonitorTransition and PropertyFail events from Deliver. All
+// deployment styles (local, threaded, remote) funnel through the same
+// Monitor instances, so this covers them uniformly. A nil tracer disables
+// emission.
+func (s *Set) SetTracer(t *telemetry.Tracer) {
+	for _, m := range s.monitors {
+		m.tel = t
+	}
+}
 
 // Monitor returns the monitor for the named machine, or nil.
 func (s *Set) Monitor(name string) *Monitor {

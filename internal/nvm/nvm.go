@@ -749,8 +749,9 @@ func flipSel(sel *Region) {
 // points where the store's stage equals its committed image or holds the
 // finished task's outputs.
 type CommitGroup struct {
-	sel     *Region
-	members []*Committed
+	sel      *Region
+	members  []*Committed
+	onCommit func()
 }
 
 // NewCommitGroup allocates the shared selector for a commit group.
@@ -786,7 +787,16 @@ func (g *CommitGroup) Commit() {
 		c.shadow().Write(0, c.stage)
 	}
 	flipSel(g.sel)
+	if g.onCommit != nil {
+		g.onCommit()
+	}
 }
+
+// SetObserver installs a hook invoked after every completed selector flip
+// (the atomic commit point). Observers run on the host side of the
+// simulation — telemetry counts commit flips with one — and must not write
+// NVM.
+func (g *CommitGroup) SetObserver(fn func()) { g.onCommit = fn }
 
 // Revert flips the shared selector back without writing any shadow: every
 // member atomically returns to its previous committed image (the one the

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// SlotBytes is the NVM footprint of one flight-recorder slot: five 64-bit
+// words (kind+seq, timestamp, name|aux, A, Data).
+const SlotBytes = 40
+
+// maxDepth bounds the ring so a typo'd -flight value cannot eat the whole
+// NVM image (each slot costs 2×SlotBytes once double-buffering is counted).
+const maxDepth = 4096
+
+// Flight is the crash-resilient flight recorder: a bounded ring of the most
+// recent events persisted in NVM. The entire ring — an 8-byte monotone
+// event count followed by depth fixed-width slots — lives inside a single
+// nvm.Committed region on its own CommitGroup, so every flush is one
+// two-phase commit: staged slot writes are volatile until the selector
+// flips, and a power failure at any byte before the flip leaves the
+// previous committed ring intact. This piggybacks on exactly the machinery
+// the runtime's task boundary uses, which is what lets the PR-1 crash
+// explorer prove the ring byte-exact.
+//
+// Layout of the committed payload:
+//
+//	[0,8)                      uint64 total events ever persisted
+//	[8+i*SlotBytes, ...)       slot i, i in [0,depth)
+//
+// Slot word 0 packs Kind into the top byte of Seq (seq is an emit ordinal,
+// never near 2^56). Slots hold interned name indices; decoding needs the
+// owning Tracer's string table, so a dump is meaningful in-process (on real
+// hardware the intern table would itself live in NVM).
+type Flight struct {
+	c     *nvm.Committed
+	depth int
+}
+
+// AttachFlight allocates a flight recorder of the given depth in mem and
+// attaches it to the tracer. Must be called before the first emit.
+func (t *Tracer) AttachFlight(mem *nvm.Memory, depth int) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: AttachFlight on disabled tracer")
+	}
+	if depth <= 0 || depth > maxDepth {
+		return fmt.Errorf("telemetry: flight depth %d out of range [1,%d]", depth, maxDepth)
+	}
+	c, err := nvm.AllocCommitted(mem, Owner, "flight", 8+depth*SlotBytes)
+	if err != nil {
+		return err
+	}
+	g, err := nvm.NewCommitGroup(mem, Owner, "flightGroup")
+	if err != nil {
+		return err
+	}
+	c.Join(g)
+	t.flight = &Flight{c: c, depth: depth}
+	return nil
+}
+
+// FlightDepth returns the attached ring's capacity (0 when detached).
+func (t *Tracer) FlightDepth() int {
+	if t == nil || t.flight == nil {
+		return 0
+	}
+	return t.flight.depth
+}
+
+// PersistedCount returns the total number of events ever committed to the
+// flight ring (reads the committed image, so call it outside the run or
+// accept the charged NVM read).
+func (t *Tracer) PersistedCount() uint64 {
+	if t == nil || t.flight == nil {
+		return 0
+	}
+	return t.flight.count()
+}
+
+// reopen reloads the ring's volatile staging from the last committed image,
+// discarding any torn shadow bytes a mid-flush power failure left behind.
+func (f *Flight) reopen() {
+	f.c.Reopen()
+}
+
+// append stages the batch into ring slots and commits atomically.
+func (f *Flight) append(evs []Event) {
+	count := f.c.ReadUint64(0)
+	for _, ev := range evs {
+		slot := 8 + int(count%uint64(f.depth))*SlotBytes
+		f.c.WriteUint64(slot+0, ev.Seq|uint64(ev.Kind)<<56)
+		f.c.WriteUint64(slot+8, uint64(int64(ev.At)))
+		f.c.WriteUint64(slot+16, uint64(uint32(ev.Name))|uint64(uint32(ev.Aux))<<32)
+		f.c.WriteUint64(slot+24, uint64(ev.A))
+		f.c.WriteUint64(slot+32, math.Float64bits(ev.Data))
+		count++
+	}
+	f.c.WriteUint64(0, count)
+	f.c.Commit()
+}
+
+// count reads the committed total-events word.
+func (f *Flight) count() uint64 {
+	buf := make([]byte, 8)
+	f.c.ReadCommitted(buf)
+	return leUint64(buf)
+}
+
+// snapshot decodes the committed ring image into events, oldest first.
+func (f *Flight) snapshot() []Event {
+	buf := make([]byte, 8+f.depth*SlotBytes)
+	f.c.ReadCommitted(buf)
+	count := leUint64(buf)
+	n := count
+	if n > uint64(f.depth) {
+		n = uint64(f.depth)
+	}
+	out := make([]Event, 0, n)
+	for i := count - n; i < count; i++ {
+		slot := 8 + int(i%uint64(f.depth))*SlotBytes
+		w0 := leUint64(buf[slot:])
+		w2 := leUint64(buf[slot+16:])
+		out = append(out, Event{
+			Kind: Kind(w0 >> 56),
+			Seq:  w0 & (1<<56 - 1),
+			At:   simclock.Time(int64(leUint64(buf[slot+8:]))),
+			Name: int32(uint32(w2)),
+			Aux:  int32(uint32(w2 >> 32)),
+			A:    int64(leUint64(buf[slot+24:])),
+			Data: math.Float64frombits(leUint64(buf[slot+32:])),
+		})
+	}
+	return out
+}
+
+// FlightEvents decodes the last committed flight-recorder image, oldest
+// event first. It reads the committed buffers directly, so the result is
+// exactly what the next boot would recover even if staged writes were torn
+// by a power failure. Returns nil when no flight recorder is attached.
+func (t *Tracer) FlightEvents() []Event {
+	if t == nil || t.flight == nil {
+		return nil
+	}
+	return t.flight.snapshot()
+}
+
+// VerifyFlight checks the committed ring image for structural damage: every
+// slot in the live window must hold a valid kind, strictly increasing
+// sequence numbers, and the final sequence number must not exceed the total
+// count. The chaos explorer runs this as an extra oracle at every crash
+// point.
+func (t *Tracer) VerifyFlight() error {
+	if t == nil || t.flight == nil {
+		return fmt.Errorf("telemetry: no flight recorder attached")
+	}
+	evs := t.flight.snapshot()
+	count := t.flight.count()
+	var prev uint64
+	for i, ev := range evs {
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("flight slot %d: invalid kind %d", i, ev.Kind)
+		}
+		if ev.Seq <= prev {
+			return fmt.Errorf("flight slot %d: seq %d not above predecessor %d", i, ev.Seq, prev)
+		}
+		prev = ev.Seq
+	}
+	if len(evs) > 0 && evs[len(evs)-1].Seq > count+uint64(len(t.pending))+uint64(t.flight.depth) {
+		return fmt.Errorf("flight: tail seq %d implausible for count %d", evs[len(evs)-1].Seq, count)
+	}
+	return nil
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

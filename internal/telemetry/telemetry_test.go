@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+)
+
+// TestNilTracerSafe proves the disabled tracer contract: every method is a
+// no-op on a nil receiver, so call sites never need a guard.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Boot(0, 0)
+	tr.PowerFailure(0)
+	tr.EnergyCharge(0, 0, -1)
+	tr.TaskStart("a", 0, 0)
+	tr.TaskEnd("a", 0, 0, 0)
+	tr.TaskCommit("a", 0, 0)
+	tr.MonitorTransition("m", "s0", "s1", 0)
+	tr.PropertyFail("m", "skipPath", 0, 0)
+	tr.ActionTaken("skipPath", "m", 0, 0)
+	tr.ScrubRepair("reset", "g", 0)
+	tr.CommitFlip()
+	tr.SetCharge(nil)
+	if tr.Enabled() || tr.EventCount() != 0 || tr.Events() != nil ||
+		tr.CommitFlips() != 0 || tr.FlightDepth() != 0 ||
+		tr.PersistedCount() != 0 || tr.FlightEvents() != nil ||
+		tr.NameOf(0) != "" {
+		t.Fatal("nil tracer leaked state")
+	}
+	if err := tr.AttachFlight(nvm.New(1024), 4); err == nil {
+		t.Fatal("AttachFlight on nil tracer: want error")
+	}
+	if err := tr.VerifyFlight(); err == nil {
+		t.Fatal("VerifyFlight on nil tracer: want error")
+	}
+}
+
+// TestZeroAllocDisabled is the ISSUE's hot-path guarantee: with telemetry
+// off (nil tracer) the task-commit instrumentation cluster allocates
+// nothing, so the runtime pays zero for the hooks being compiled in.
+func TestZeroAllocDisabled(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.TaskStart("sense", 1, 100)
+		tr.TaskEnd("sense", 1, 200, 36.6)
+		tr.TaskCommit("sense", 1, 200)
+		tr.CommitFlip()
+		tr.ActionTaken("restartPath", "maxTries_sense", 1, 200)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEmitIntern checks event capture, sequencing, and string interning.
+func TestEmitIntern(t *testing.T) {
+	tr := New()
+	tr.Boot(0, 0)
+	tr.TaskStart("sense", 2, 10)
+	tr.MonitorTransition("maxTries_sense", "s0", "s1", 20)
+	evs := tr.Events()
+	if len(evs) != 3 || tr.EventCount() != 3 {
+		t.Fatalf("EventCount = %d, want 3", tr.EventCount())
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if got := tr.NameOf(evs[1].Name); got != "sense" {
+		t.Fatalf("TaskStart name = %q, want sense", got)
+	}
+	mt := evs[2]
+	if tr.NameOf(mt.Name) != "maxTries_sense" || tr.NameOf(mt.Aux) != "s1" || tr.NameOf(int32(mt.A)) != "s0" {
+		t.Fatalf("MonitorTransition interning broken: %+v", mt)
+	}
+	// Same string interns to the same index.
+	tr.TaskStart("sense", 3, 30)
+	if tr.Events()[3].Name != evs[1].Name {
+		t.Fatal("intern returned a fresh index for a known string")
+	}
+}
+
+// TestFlightPersistRecover covers the straight-line flight path: persisted
+// events land in the committed ring and decode back exactly.
+func TestFlightPersistRecover(t *testing.T) {
+	mem := nvm.New(4096)
+	tr := New()
+	if err := tr.AttachFlight(mem, 8); err != nil {
+		t.Fatal(err)
+	}
+	tr.Boot(0, 0)
+	tr.TaskStart("sense", 1, 10)
+	tr.TaskEnd("sense", 1, 20, 36.6)
+	tr.TaskCommit("sense", 1, 20)
+	if got := tr.PersistedCount(); got != 4 {
+		t.Fatalf("PersistedCount = %d, want 4", got)
+	}
+	if !reflect.DeepEqual(tr.FlightEvents(), tr.Events()) {
+		t.Fatalf("flight ring %v != volatile log %v", tr.FlightEvents(), tr.Events())
+	}
+	if err := tr.VerifyFlight(); err != nil {
+		t.Fatalf("VerifyFlight: %v", err)
+	}
+	if tr.FlightDepth() != 8 {
+		t.Fatalf("FlightDepth = %d, want 8", tr.FlightDepth())
+	}
+}
+
+// TestFlightRingWrap overruns a depth-4 ring and checks the committed
+// window is exactly the newest four events, oldest first.
+func TestFlightRingWrap(t *testing.T) {
+	mem := nvm.New(4096)
+	tr := New()
+	if err := tr.AttachFlight(mem, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tr.TaskCommit(fmt.Sprintf("t%d", i), i, simclock.Time(i))
+	}
+	if got := tr.PersistedCount(); got != 10 {
+		t.Fatalf("PersistedCount = %d, want 10", got)
+	}
+	evs := tr.FlightEvents()
+	if len(evs) != 4 {
+		t.Fatalf("flight window %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("window[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+		if want := fmt.Sprintf("t%d", 6+i); tr.NameOf(ev.Name) != want {
+			t.Fatalf("window[%d] = %q, want %q", i, tr.NameOf(ev.Name), want)
+		}
+	}
+	if err := tr.VerifyFlight(); err != nil {
+		t.Fatalf("VerifyFlight after wrap: %v", err)
+	}
+}
+
+// TestPowerFailureDropsPending mirrors the device contract: PowerFailure
+// and EnergyCharge are emitted while the device is dark, so they stay
+// volatile until the next Boot persists them; anything staged when the
+// power fails is wiped, exactly like a real write buffer.
+func TestPowerFailureDropsPending(t *testing.T) {
+	mem := nvm.New(4096)
+	tr := New()
+	if err := tr.AttachFlight(mem, 8); err != nil {
+		t.Fatal(err)
+	}
+	tr.Boot(0, 0)
+	tr.TaskStart("sense", 1, 10)
+	tr.PowerFailure(20)
+	tr.EnergyCharge(30, simclock.Duration(10), 800)
+	// The brown-out records are not yet in NVM: the device is dark.
+	if got := tr.PersistedCount(); got != 2 {
+		t.Fatalf("PersistedCount while dark = %d, want 2", got)
+	}
+	tr.Boot(1, 30)
+	// Boot flushes the dark-period records together with itself.
+	if got := tr.PersistedCount(); got != 5 {
+		t.Fatalf("PersistedCount after reboot = %d, want 5", got)
+	}
+	evs := tr.FlightEvents()
+	kinds := make([]Kind, len(evs))
+	for i, ev := range evs {
+		kinds[i] = ev.Kind
+	}
+	want := []Kind{KindBoot, KindTaskStart, KindPowerFailure, KindEnergyCharge, KindBoot}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("flight kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestAttachFlightBounds rejects nonsense depths.
+func TestAttachFlightBounds(t *testing.T) {
+	for _, depth := range []int{0, -1, maxDepth + 1} {
+		tr := New()
+		if err := tr.AttachFlight(nvm.New(1024), depth); err == nil {
+			t.Fatalf("AttachFlight(depth=%d): want error", depth)
+		}
+	}
+}
+
+// crashScenario is the fixed emit script the byte-exact sweep replays: two
+// boot cycles with task activity, monitor traffic, and enough commits to
+// wrap the depth-4 ring. It returns normally or panics with the armed
+// crash sentinel partway through.
+func crashScenario(tr *Tracer) {
+	tr.Boot(0, 0)
+	tr.TaskStart("sense", 1, 10)
+	tr.TaskEnd("sense", 1, 20, 36.6)
+	tr.TaskCommit("sense", 1, 20)
+	tr.MonitorTransition("maxTries_sense", "s0", "s1", 20)
+	tr.TaskStart("send", 1, 30)
+	tr.PropertyFail("maxTries_send", "restartPath", 1, 40)
+	tr.ActionTaken("restartPath", "maxTries_send", 1, 40)
+	tr.PowerFailure(50)
+	tr.EnergyCharge(60, simclock.Duration(10), 800)
+	tr.Boot(1, 60)
+	tr.TaskStart("send", 1, 70)
+	tr.TaskEnd("send", 1, 80, 1)
+	tr.TaskCommit("send", 1, 80)
+	tr.ScrubRepair("shadowRestore", "store.grp", 90)
+}
+
+type crashSentinel struct{ byte int }
+
+// TestFlightCrashByteExact is the tentpole proof: for EVERY byte the
+// scenario ever writes to NVM, a power failure immediately after that byte
+// leaves the committed flight ring byte-for-byte equal to the image of the
+// last fully committed flush — never torn, never partial. The reference
+// pass records (cumulative NVM bytes, ring snapshot) after each emit; the
+// sweep then replays the scenario once per crash byte and compares.
+func TestFlightCrashByteExact(t *testing.T) {
+	const depth = 4
+
+	build := func() (*nvm.Memory, *Tracer) {
+		mem := nvm.New(8192)
+		tr := New()
+		if err := tr.AttachFlight(mem, depth); err != nil {
+			t.Fatal(err)
+		}
+		return mem, tr
+	}
+
+	// Reference pass: checkpoint the committed image after every emit.
+	// The Committed stage is volatile, so NVM traffic happens only inside
+	// Commit — each checkpoint therefore sits on a flush boundary.
+	refMem, refTr := build()
+	base := refMem.Stats().BytesWritten
+	type checkpoint struct {
+		bytes int64 // cumulative NVM bytes written after this emit
+		ring  []Event
+	}
+	checkpoints := []checkpoint{{base, refTr.FlightEvents()}} // before any emit: empty ring
+	steps := []func(*Tracer){
+		func(tr *Tracer) { tr.Boot(0, 0) },
+		func(tr *Tracer) { tr.TaskStart("sense", 1, 10) },
+		func(tr *Tracer) { tr.TaskEnd("sense", 1, 20, 36.6) },
+		func(tr *Tracer) { tr.TaskCommit("sense", 1, 20) },
+		func(tr *Tracer) { tr.MonitorTransition("maxTries_sense", "s0", "s1", 20) },
+		func(tr *Tracer) { tr.TaskStart("send", 1, 30) },
+		func(tr *Tracer) { tr.PropertyFail("maxTries_send", "restartPath", 1, 40) },
+		func(tr *Tracer) { tr.ActionTaken("restartPath", "maxTries_send", 1, 40) },
+		func(tr *Tracer) { tr.PowerFailure(50) },
+		func(tr *Tracer) { tr.EnergyCharge(60, simclock.Duration(10), 800) },
+		func(tr *Tracer) { tr.Boot(1, 60) },
+		func(tr *Tracer) { tr.TaskStart("send", 1, 70) },
+		func(tr *Tracer) { tr.TaskEnd("send", 1, 80, 1) },
+		func(tr *Tracer) { tr.TaskCommit("send", 1, 80) },
+		func(tr *Tracer) { tr.ScrubRepair("shadowRestore", "store.grp", 90) },
+	}
+	for _, step := range steps {
+		step(refTr)
+		checkpoints = append(checkpoints, checkpoint{refMem.Stats().BytesWritten, refTr.FlightEvents()})
+	}
+	total := refMem.Stats().BytesWritten
+	if total == base {
+		t.Fatal("scenario wrote no NVM bytes; sweep is vacuous")
+	}
+
+	for k := base + 1; k <= total; k++ {
+		mem, tr := build()
+		// The hook counts bytes from arming, so subtract the setup writes
+		// the fresh build replays before the scenario starts.
+		mem.SetCrashHook(int(k-base), func() { panic(crashSentinel{int(k)}) })
+		func() {
+			defer func() {
+				r := recover()
+				if _, ok := r.(crashSentinel); r != nil && !ok {
+					panic(r)
+				}
+			}()
+			crashScenario(tr)
+		}()
+
+		// Expected image: the last checkpoint fully written by byte k.
+		var want []Event
+		for _, cp := range checkpoints {
+			if cp.bytes <= k {
+				want = cp.ring
+			}
+		}
+		got := tr.FlightEvents()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash after byte %d of %d: committed ring = %v, want %v", k, total, got, want)
+		}
+		if err := tr.VerifyFlight(); err != nil {
+			t.Fatalf("crash after byte %d: VerifyFlight: %v", k, err)
+		}
+	}
+}
+
+// TestChargeHookWrapsFlush checks the energy-accounting contract: the
+// injected hook sees every flush with its batch size and its persist
+// callback actually commits the batch.
+func TestChargeHookWrapsFlush(t *testing.T) {
+	mem := nvm.New(4096)
+	tr := New()
+	if err := tr.AttachFlight(mem, 8); err != nil {
+		t.Fatal(err)
+	}
+	var batches []int
+	tr.SetCharge(func(events int, persist func()) {
+		batches = append(batches, events)
+		persist()
+	})
+	tr.Boot(0, 0)
+	tr.TaskCommit("sense", 1, 10)
+	tr.PowerFailure(20)
+	tr.EnergyCharge(30, 10, 800)
+	tr.Boot(1, 30)
+	if want := []int{1, 1, 3}; !reflect.DeepEqual(batches, want) {
+		t.Fatalf("charge batches = %v, want %v", batches, want)
+	}
+	if got := tr.PersistedCount(); got != 5 {
+		t.Fatalf("PersistedCount = %d, want 5", got)
+	}
+}

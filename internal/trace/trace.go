@@ -22,8 +22,13 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; short rows are padded with empty cells.
+// AddRow appends a row; short rows are padded with empty cells. A row with
+// more cells than headers is a caller bug — silently dropping the extras
+// would print a table that lies about its data — so it panics.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("trace: AddRow got %d cells for a %d-column table %q", len(cells), len(t.Headers), t.Title))
+	}
 	row := make([]string, len(t.Headers))
 	copy(row, cells)
 	t.rows = append(t.rows, row)

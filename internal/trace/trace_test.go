@@ -47,6 +47,23 @@ func TestTableWithoutTitle(t *testing.T) {
 	}
 }
 
+func TestAddRowTooManyCells(t *testing.T) {
+	// Regression: AddRow used to silently truncate rows wider than the
+	// header set, rendering a table that dropped data without a trace.
+	tb := NewTable("Overflow", "a", "b")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddRow with 3 cells for 2 headers did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "3 cells") || !strings.Contains(msg, "2-column") {
+			t.Fatalf("panic message unhelpful: %v", r)
+		}
+	}()
+	tb.AddRow("1", "2", "surplus")
+}
+
 func TestTimeline(t *testing.T) {
 	tl := NewTimeline("T")
 	tl.Add(simclock.Time(5*simclock.Minute), "attempt #%d", 1)
