@@ -354,6 +354,45 @@ func BenchmarkFlipCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSpecSwap measures a complete health run with an over-the-air
+// spec update queued at event 2: the chunked bundle transfer, the live FSM
+// migration, and the atomic activation flip, on continuous power over a
+// perfect link — the end-to-end cost of reprogramming the monitors without
+// restarting the application.
+func BenchmarkSpecSwap(b *testing.B) {
+	v1, err := health.CompiledShared()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2, err := health.CompiledSharedV2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := health.New()
+		f, err := core.New(core.Config{
+			System:       core.Artemis,
+			Graph:        app.Graph,
+			StoreKeys:    health.Keys(),
+			Compiled:     v1,
+			Supply:       core.SupplyConfig{Kind: core.SupplyContinuous},
+			SwapCompiled: v2,
+			SwapAt:       2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := f.Run()
+		if err != nil || !rep.Completed {
+			b.Fatalf("run failed: %v %+v", err, rep)
+		}
+		if st := f.OTA().Stats(); st.Swaps != 1 {
+			b.Fatalf("swap did not happen: %+v", st)
+		}
+	}
+}
+
 // BenchmarkNVMWrite pins the FRAM write path — the innermost loop of every
 // simulation — at zero allocations per store.
 func BenchmarkNVMWrite(b *testing.B) {

@@ -13,6 +13,8 @@
 //	artemis-sim -chaos -seed 42          # fault-injection campaign (internal/chaos)
 //	artemis-sim -integrity -charging 6m  # self-healing NVM layer: CRC guards + scrub + repair
 //	artemis-sim -watchdog-limit 5 -charging 1s -budget 5   # break starved-task boot loops
+//	artemis-sim -swap-spec -swap-at 3    # over-the-air update to the v2 spec mid-run
+//	artemis-sim -swap-spec -swap-chunk-loss 0.3 -seed 7    # lossy OTA transfer; swap or clean rollback
 package main
 
 import (
@@ -72,10 +74,15 @@ func run(args []string, w io.Writer) error {
 		metOut   = fs.String("metrics", "", "write Prometheus-style text metrics to this file")
 		flight   = fs.Int("flight", 0, "telemetry flight-recorder depth in events (crash-resilient NVM ring); 0 = volatile tracing only")
 		dumpFSM  = fs.String("dump-fsm", "", "write each generated monitor machine as Graphviz DOT into this directory")
+		swapSpec = fs.Bool("swap-spec", false, "queue an over-the-air update to the v2 (loosened-bounds) health spec mid-run")
+		swapAt   = fs.Uint64("swap-at", 2, "runtime event sequence number after which the OTA transfer starts (with -swap-spec)")
+		swapLoss = fs.Float64("swap-chunk-loss", 0, "per-attempt drop probability on the OTA transfer link (with -swap-spec)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 
 	// Reject nonsensical combinations up front, before any simulation runs.
 	if *watchdog < 0 {
@@ -105,6 +112,20 @@ func run(args []string, w io.Writer) error {
 	}
 	if *dumpFSM != "" && *runChaos {
 		return fmt.Errorf("-dump-fsm needs a single compiled deployment; drop -chaos")
+	}
+	if *swapSpec {
+		switch {
+		case *runChaos:
+			return fmt.Errorf("-swap-spec conflicts with -chaos (the campaign queues its own spec swaps)")
+		case *system != "artemis":
+			return fmt.Errorf("-swap-spec requires -system artemis (the Mayfly baseline has no monitor deployment to reprogram)")
+		case *appName != "health":
+			return fmt.Errorf("-swap-spec updates the health specification; -app %s is not supported", *appName)
+		case *swapLoss < 0 || *swapLoss >= 1:
+			return fmt.Errorf("-swap-chunk-loss %g: must be in [0, 1)", *swapLoss)
+		}
+	} else if explicit["swap-at"] || explicit["swap-chunk-loss"] {
+		return fmt.Errorf("-swap-at and -swap-chunk-loss configure the -swap-spec update; add -swap-spec")
 	}
 	if *dumpFSM != "" && *system != "artemis" {
 		return fmt.Errorf("-dump-fsm requires -system artemis (the Mayfly baseline compiles no monitor machines)")
@@ -198,6 +219,17 @@ func run(args []string, w io.Writer) error {
 		cfg.Constraints = mayfly.HealthConstraints()
 	default:
 		return fmt.Errorf("unknown -system %q (want artemis or mayfly)", *system)
+	}
+	if *swapSpec {
+		v2, err := health.CompiledSharedV2()
+		if err != nil {
+			return err
+		}
+		cfg.SwapCompiled = v2
+		cfg.SwapAt = *swapAt
+		if *swapLoss > 0 {
+			cfg.SwapLink = chaos.NewLossyLink(*seed, *swapLoss, 0)
+		}
 	}
 
 	switch {
@@ -391,6 +423,19 @@ func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []
 			fmt.Fprintf(w, ", %d persisted (flight depth %d)", tel.PersistedCount(), d)
 		}
 		fmt.Fprintf(w, ", %d commit flips\n", tel.CommitFlips())
+	}
+	if ost := rep.OTA; ost != nil {
+		switch {
+		case ost.Swaps > 0:
+			fmt.Fprintf(w, "ota:        swapped to v%d after %d chunks (%d events to swap, %d missed, %.1f µJ radio)\n",
+				f.OTA().ActiveVersion(), ost.ChunksSent, ost.ActivateSeq-ost.RequestSeq, ost.MissedEvents, ost.TransferEnergyUJ)
+		case ost.Rollbacks > 0:
+			fmt.Fprintf(w, "ota:        rolled back to v%d (%s) after %d chunks (%.1f µJ radio)\n",
+				f.OTA().ActiveVersion(), ost.LastRollback, ost.ChunksSent, ost.TransferEnergyUJ)
+		default:
+			fmt.Fprintf(w, "ota:        update pending, %d chunks sent (%.1f µJ radio)\n",
+				ost.ChunksSent, ost.TransferEnergyUJ)
+		}
 	}
 	if ist := rep.Integrity; ist != nil {
 		fmt.Fprintf(w, "integrity:  %d guards, %d checks (%d scrubs, %d boot verifies), %d corruptions -> %d restored, %d reset, %d quarantined\n",

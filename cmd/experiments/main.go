@@ -39,6 +39,7 @@ func run(args []string, w io.Writer) error {
 		physical = fs.Bool("physical", false, "include the Figure-12 sweep on the physical capacitor+harvester model")
 		ext      = fs.Bool("extension", false, "include the §4.2.2 minEnergy extension comparison")
 		recovery = fs.Bool("recovery", false, "include the fault-recovery evaluation (bit flips, scrub overhead, watchdog)")
+		reprog   = fs.Bool("reprogramming", false, "include the over-the-air spec-update sweep (chunk loss vs swap cost)")
 		csv      = fs.Bool("csv", false, "emit comma-separated values instead of aligned text")
 		workers  = fs.Int("workers", 1, "concurrent simulations per sweep; 0 = one per CPU (output is identical at any worker count)")
 	)
@@ -142,6 +143,13 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(w, experiments.RenderRecovery(res))
+	}
+	if all || *reprog {
+		rows, err := experiments.Reprogramming(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableReprogramming(rows))
 	}
 	return nil
 }

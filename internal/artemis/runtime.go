@@ -74,6 +74,19 @@ var ErrStuck = errors.New("artemis: no progress within the step budget")
 // — never a panic — so fault campaigns can classify it as a detection.
 var ErrCorrupt = errors.New("artemis: persistent control state corrupted")
 
+// Reprogrammer is the over-the-air reprogramming hook contract, satisfied
+// by internal/ota.Manager. Declared here so the dependency arrow points
+// from the OTA layer at the runtime, not the other way around.
+type Reprogrammer interface {
+	// BootSync reconciles persistent swap state with the host-side
+	// deployment; the runtime calls it on every boot before rolling the
+	// monitors back.
+	BootSync(now simclock.Time)
+	// AtBoundary advances pending reprogramming work at a task boundary.
+	// Returned failures are routed through monitor.Decide arbitration.
+	AtBoundary(now simclock.Time) []ir.Failure
+}
+
 // Config assembles a runtime.
 type Config struct {
 	MCU      *device.MCU
@@ -115,6 +128,14 @@ type Config struct {
 	// flips. Every emit method is a no-op on a nil tracer, so the disabled
 	// path costs nothing on the task-commit hot path.
 	Telemetry *telemetry.Tracer
+
+	// OTA, when non-nil, hooks over-the-air monitor reprogramming into the
+	// runtime (internal/ota.Manager): BootSync reconciles persistent swap
+	// state on every boot before monitor rollback, and AtBoundary advances
+	// a pending bundle transfer — and performs the atomic spec swap — at
+	// task boundaries, the only points where no event is in flight and no
+	// task is mid-execution.
+	OTA Reprogrammer
 
 	// WatchdogLimit, when positive, arms the forward-progress watchdog: a
 	// persistent per-position consecutive-boot counter (committed in the
@@ -286,8 +307,14 @@ func (r *Runtime) Boot() error {
 	}
 
 	// Reboot recovery: discard staged-but-uncommitted state and let the
-	// main loop re-deliver the in-flight event (monitorFinalize).
+	// main loop re-deliver the in-flight event (monitorFinalize). OTA sync
+	// runs first: if a power failure landed between the spec-swap selector
+	// flip and the host-side install, the committed new deployment must be
+	// in place before anything rolls monitors back or delivers to them.
 	r.state.rollback()
+	if r.cfg.OTA != nil {
+		r.cfg.OTA.BootSync(mcu.Now())
+	}
 	r.cfg.Monitors.Rollback()
 	r.cfg.Store.Rollback()
 	for _, e := range r.cfg.Extras {
@@ -690,7 +717,48 @@ func (r *Runtime) runCurrentTask() error {
 	s.setB(wEvDelivered, true)
 	s.commit()
 	r.cfg.Telemetry.TaskCommit(t.Name, r.currentPath().ID, mcu.Now())
+	// Task boundary: the runtime swap point. The committed control state
+	// says this task is done and no event is in flight, so a reprogramming
+	// step (or a power failure inside one) never tears application state.
+	if r.cfg.OTA != nil {
+		if fs := r.cfg.OTA.AtBoundary(mcu.Now()); len(fs) > 0 {
+			r.reportSwap(fs)
+		}
+	}
 	return nil
+}
+
+// reportSwap routes OTA failure reports (a rolled-back update) through the
+// same arbitration pipeline monitor verdicts take. Rollback reports carry
+// action.None — the device keeps running on the previous bundle — but a
+// hook returning a corrective action is honoured like any other decision.
+func (r *Runtime) reportSwap(fs []ir.Failure) {
+	pathID := r.currentPath().ID
+	dec := monitor.Decide(fs, pathID)
+	if dec.Action == action.None {
+		return
+	}
+	r.stats.Decisions[dec.Action]++
+	if r.cfg.OnDecision != nil {
+		r.cfg.OnDecision(monitor.Event{
+			Seq: r.state.get(wEvSeq),
+			Event: ir.Event{
+				Kind: ir.EvEnd,
+				Task: r.currentTask().Name,
+				Time: r.cfg.MCU.Now(),
+				Path: pathID,
+			},
+		}, dec)
+	}
+	r.cfg.Telemetry.ActionTaken(dec.Action.String(), dec.Machine, dec.Path, r.cfg.MCU.Now())
+	switch dec.Action {
+	case action.RestartPath:
+		r.stats.PathRestarts++
+		r.restartPath(dec.Path)
+	case action.SkipPath:
+		r.stats.PathSkips++
+		r.skipPath(dec.Path)
+	}
 }
 
 // advanceTask moves to the next task, next path, next round, or completion.

@@ -40,6 +40,7 @@ type Report struct {
 	Radio  *RadioReport
 	Sensor *SensorReport
 	Flip   *FlipReport
+	Swap   *SwapReport
 }
 
 // Failures counts oracle failures across all enabled fault families.
@@ -56,6 +57,9 @@ func (r *Report) Failures() int {
 	}
 	if r.Flip != nil {
 		n += r.Flip.Crashed
+	}
+	if r.Swap != nil {
+		n += r.Swap.Failed
 	}
 	return n
 }
@@ -77,6 +81,9 @@ func (r *Report) String() string {
 	if r.Flip != nil {
 		b.WriteString(r.Flip.String())
 	}
+	if r.Swap != nil {
+		b.WriteString(r.Swap.String())
+	}
 	fmt.Fprintf(&b, "verdict:    %s\n", verdictWord(r.Failures() == 0))
 	return b.String()
 }
@@ -94,6 +101,7 @@ type Campaign struct {
 	Radio   *RadioCampaign
 	Sensor  *SensorCampaign
 	Flip    *FlipCampaign
+	Swap    *SwapCampaign
 }
 
 // Run executes every enabled fault family and aggregates the reports.
@@ -149,6 +157,19 @@ func (c *Campaign) Run() (*Report, error) {
 			return nil, fmt.Errorf("chaos: bit-flip campaign: %w", err)
 		}
 		rep.Flip = fr
+	}
+	if c.Swap != nil {
+		if c.Swap.Seed == 0 {
+			c.Swap.Seed = c.Seed
+		}
+		if c.Swap.Workers == 0 {
+			c.Swap.Workers = c.Workers
+		}
+		sr, err := c.Swap.Run()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: swap campaign: %w", err)
+		}
+		rep.Swap = sr
 	}
 	return rep, nil
 }

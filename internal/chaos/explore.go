@@ -91,9 +91,16 @@ type PointResult struct {
 
 // ExploreReport summarises one crash-exploration sweep.
 type ExploreReport struct {
-	// Writes is the total number of persistent write operations the
-	// reference run performed — the size of the crash-point space.
+	// Writes is the total number of persistent write operations (or, in
+	// byte mode, bytes) the reference run performed — the size of the
+	// crash-point space before windowing.
 	Writes int
+	// ByteMode records byte-granularity injection.
+	ByteMode bool
+	// WindowLo / WindowHi bound the explored point space when a Window
+	// callback restricted it (1-based, inclusive); both zero when the
+	// whole run was the space.
+	WindowLo, WindowHi int
 	// Explored, Pruned, and Failed partition the schedule: every write
 	// index is either explored or pruned, and Failed counts explored
 	// points with at least one oracle failure.
@@ -119,12 +126,23 @@ const maxRetainedFailures = 32
 // String renders the sweep summary deterministically.
 func (r *ExploreReport) String() string {
 	var b strings.Builder
+	unit := "write"
+	if r.ByteMode {
+		unit = "byte"
+	}
+	space := r.Writes
+	if r.WindowHi > 0 {
+		space = r.WindowHi - r.WindowLo + 1
+	}
 	mode := "exhaustive"
-	if r.Explored+r.Pruned < r.Writes {
+	if r.Explored+r.Pruned < space {
 		mode = "sampled"
 	}
-	fmt.Fprintf(&b, "crash:      %d write points (%s: %d explored, %d pruned), %d failed\n",
-		r.Writes, mode, r.Explored, r.Pruned, r.Failed)
+	fmt.Fprintf(&b, "crash:      %d %s points (%s: %d explored, %d pruned), %d failed\n",
+		space, unit, mode, r.Explored, r.Pruned, r.Failed)
+	if r.WindowHi > 0 {
+		fmt.Fprintf(&b, "            window [%d, %d] of %d run %ss\n", r.WindowLo, r.WindowHi, r.Writes, unit)
+	}
 	fmt.Fprintf(&b, "            worst-case reboots %d, reference reboots %d\n", r.WorstReboots, r.Ref.Reboots)
 	for _, name := range sortedKeys(r.OraclePass) {
 		fmt.Fprintf(&b, "            oracle %-12s pass %d fail %d\n", name, r.OraclePass[name], r.OracleFail[name])
@@ -182,6 +200,23 @@ type Explorer struct {
 	// leave pruning off).
 	Prune bool
 
+	// Bytes switches crash injection from write-operation granularity to
+	// single-NVM-byte granularity: the point space becomes every byte the
+	// reference run wrote, and each explored point reboots the device with
+	// the memory holding exactly the first k bytes — torn multi-byte
+	// writes included. This is how the swap oracle proves the activation
+	// flip atomic: a selector flip is one byte, so only byte granularity
+	// can land a failure on either side of it. Prune is ignored in byte
+	// mode (fingerprints are taken per write operation).
+	Bytes bool
+
+	// Window, when non-nil, restricts the point space to a byte range of
+	// the reference run, reported as absolute Memory BytesWritten marks
+	// (e.g. ota.Manager.SwapWindow). Requires Bytes mode. ok = false
+	// fails the sweep: a window caller expects the windowed activity to
+	// have happened.
+	Window func(f *core.Framework) (lo, hi int64, ok bool)
+
 	// RebootSlack is how many reboots beyond reference+1 the progress
 	// oracle tolerates; the injected failure itself accounts for the +1.
 	RebootSlack int
@@ -217,10 +252,14 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.Window != nil && !e.Bytes {
+		return nil, fmt.Errorf("chaos: Explorer.Window requires Bytes mode")
+	}
 	mem := f.MCU().Mem
 	base := mem.Stats().Writes
+	baseBytes := mem.Stats().BytesWritten
 	var hashes []uint64
-	if e.Prune {
+	if e.Prune && !e.Bytes {
 		mem.SetWriteObserver(func() { hashes = append(hashes, mem.Hash()) })
 	}
 	rep, err := f.Run()
@@ -233,6 +272,9 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 			rep.Reboots, rep.NonTerminated)
 	}
 	writes := int(mem.Stats().Writes - base)
+	if e.Bytes {
+		writes = int(mem.Stats().BytesWritten - baseBytes)
+	}
 	if writes == 0 {
 		return nil, fmt.Errorf("chaos: reference run performed no persistent writes")
 	}
@@ -240,12 +282,35 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 
 	out := &ExploreReport{
 		Writes:     writes,
+		ByteMode:   e.Bytes,
 		OraclePass: map[string]int{},
 		OracleFail: map[string]int{},
 		Ref:        ref,
 	}
 
-	schedule, pruned := e.schedule(writes, hashes)
+	// A window restricts the point space to the byte range the callback
+	// reports — e.g. exactly the bytes a mid-run spec swap touched.
+	lo, hi := 1, writes
+	if e.Window != nil {
+		wlo, whi, ok := e.Window(f)
+		if !ok {
+			return nil, fmt.Errorf("chaos: Window callback found no windowed activity in the reference run")
+		}
+		lo = int(wlo-baseBytes) + 1
+		hi = int(whi - baseBytes)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > writes {
+			hi = writes
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("chaos: Window [%d, %d] is empty", lo, hi)
+		}
+		out.WindowLo, out.WindowHi = lo, hi
+	}
+
+	schedule, pruned := e.schedule(lo, hi, hashes)
 	out.Pruned = pruned
 
 	// Partition the fixed schedule across workers; each point replays on
@@ -288,13 +353,13 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 	return out, nil
 }
 
-// schedule picks the crash points to explore: all of 1..writes, minus
+// schedule picks the crash points to explore: all of lo..hi, minus
 // duplicate-state points when pruning, sampled down to Budget when set.
-func (e *Explorer) schedule(writes int, hashes []uint64) (points []int, pruned int) {
-	candidates := make([]int, 0, writes)
-	if e.Prune && len(hashes) >= writes {
-		seen := make(map[uint64]bool, writes)
-		for k := 1; k <= writes; k++ {
+func (e *Explorer) schedule(lo, hi int, hashes []uint64) (points []int, pruned int) {
+	candidates := make([]int, 0, hi-lo+1)
+	if e.Prune && !e.Bytes && len(hashes) >= hi {
+		seen := make(map[uint64]bool, hi-lo+1)
+		for k := lo; k <= hi; k++ {
 			h := hashes[k-1]
 			if seen[h] {
 				pruned++
@@ -304,7 +369,7 @@ func (e *Explorer) schedule(writes int, hashes []uint64) (points []int, pruned i
 			candidates = append(candidates, k)
 		}
 	} else {
-		for k := 1; k <= writes; k++ {
+		for k := lo; k <= hi; k++ {
 			candidates = append(candidates, k)
 		}
 	}
@@ -331,12 +396,18 @@ func (e *Explorer) explorePoint(k int, ref Outcome) (PointResult, error) {
 	mem := f.MCU().Mem
 	pr := PointResult{Point: k}
 	clock := f.MCU().Clock
-	mem.SetWriteCrashHook(k, func() {
-		if e.Prune {
-			pr.Hash = mem.Hash()
-		}
-		panic(device.PowerFailure{At: clock.Now()})
-	})
+	if e.Bytes {
+		mem.SetCrashHook(k, func() {
+			panic(device.PowerFailure{At: clock.Now()})
+		})
+	} else {
+		mem.SetWriteCrashHook(k, func() {
+			if e.Prune {
+				pr.Hash = mem.Hash()
+			}
+			panic(device.PowerFailure{At: clock.Now()})
+		})
+	}
 	rep, err := f.Run()
 	if err != nil {
 		// A run-level error after an injected crash is an atomicity

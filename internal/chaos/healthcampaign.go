@@ -228,13 +228,14 @@ func NewHealthIntegrityExplorer(seed int64, budget int) *Explorer {
 	}
 }
 
-// NewHealthCampaign bundles all four fault families against the health
+// NewHealthCampaign bundles all five fault families against the health
 // benchmark — the configuration `artemis-sim --chaos` runs. crashBudget
 // bounds the crash exploration (0 = exhaustive); radioRuns and flipRuns
-// size the seeded campaigns. withIntegrity runs the crash sweep and the
-// flip campaign with the self-healing layer enabled; flightDepth > 0 runs
-// the flip campaign with the telemetry flight recorder attached so
-// unrecoverable verdicts include a black-box dump.
+// size the seeded campaigns (flipRuns also sizes the faulted-update swap
+// campaign). withIntegrity runs the crash sweep and the flip campaign with
+// the self-healing layer enabled; flightDepth > 0 runs the flip campaign
+// with the telemetry flight recorder attached so unrecoverable verdicts
+// include a black-box dump.
 func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withIntegrity bool, flightDepth int) *Campaign {
 	crash := NewHealthExplorer(seed, crashBudget)
 	if withIntegrity {
@@ -246,6 +247,116 @@ func NewHealthCampaign(seed int64, crashBudget, radioRuns, flipRuns int, withInt
 		Radio:  NewHealthRadioCampaign(seed, radioRuns),
 		Sensor: NewHealthSensorCampaign(),
 		Flip:   NewHealthFlipCampaign(seed, flipRuns, withIntegrity, flightDepth),
+		Swap:   NewHealthSwapCampaign(seed, flipRuns, flightDepth),
+	}
+}
+
+// withSwapConfig queues the v1 -> v2 health spec swap on a deployment: the
+// loosened-bounds revision transfers over the given link (nil = perfect)
+// in 64-byte chunks starting after runtime event 2, with the optional
+// corruption hook poisoning chunks in flight.
+func withSwapConfig(cfg *core.Config, link monitor.Link, corrupt func(chunk int, data []byte) []byte) {
+	// The shared compiled revision is validated by every swap test; an
+	// error here surfaces as core.New rejecting the nil SwapCompiled.
+	v2, _ := health.CompiledSharedV2()
+	cfg.SwapCompiled = v2
+	cfg.SwapAt = 2
+	cfg.SwapLink = link
+	cfg.SwapCorrupt = corrupt
+}
+
+// NewHealthSwapExplorer is the swap-atomicity crash explorer: the health
+// benchmark with a mid-run OTA update of the spec (v1 -> v2, bounds
+// loosened, FSM shape preserved), explored at single-NVM-BYTE granularity
+// across exactly the byte window the swap touched — transfer staging,
+// chunk commits, and the one-byte activation selector flip. The transfer
+// link is perfect: a lossy link would make a crashed run roll back where
+// the reference swapped, turning legitimate divergence into false oracle
+// failures (SwapCampaign owns the faulted-transfer space). The sixth
+// oracle asserts the recovered device is on exactly the old or exactly
+// the new version — never a hybrid — with a verifying image, a settled
+// transfer, and the swap landing exactly once.
+func NewHealthSwapExplorer(seed int64, budget int) *Explorer {
+	return &Explorer{
+		Build: func() (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				withSwapConfig(cfg, nil, nil)
+			})
+		},
+		Keys:      healthKeys,
+		ExactKeys: healthExactKeys,
+		Invariant: healthInvariant,
+		Seed:      seed,
+		Budget:    budget,
+		Bytes:     true,
+		Window: func(f *core.Framework) (int64, int64, bool) {
+			return f.OTA().SwapWindow()
+		},
+		PostOracles: []string{OracleSwap},
+		PostCheck: func(f *core.Framework, ref, got Outcome) []OracleFailure {
+			mgr := f.OTA()
+			if mgr == nil {
+				return []OracleFailure{{OracleSwap, "no OTA manager on the recovered framework"}}
+			}
+			var fails []OracleFailure
+			if err := mgr.VerifyActive(); err != nil {
+				fails = append(fails, OracleFailure{OracleSwap, err.Error()})
+			}
+			v := mgr.ActiveVersion()
+			if v != 2 {
+				fails = append(fails, OracleFailure{OracleSwap,
+					fmt.Sprintf("terminal version %d, want 2 (perfect link: the update must land)", v)})
+			}
+			if iv := mgr.InstalledVersion(); iv != v {
+				fails = append(fails, OracleFailure{OracleSwap,
+					fmt.Sprintf("installed deployment v%d but active image v%d", iv, v)})
+			}
+			if mgr.TransferInFlight() {
+				fails = append(fails, OracleFailure{OracleSwap, "staged transfer still in flight at completion"})
+			}
+			st := mgr.Stats()
+			if st.Swaps != 1 || st.Rollbacks != 0 {
+				fails = append(fails, OracleFailure{OracleSwap,
+					fmt.Sprintf("%d swaps, %d rollbacks (%s); want exactly one clean swap", st.Swaps, st.Rollbacks, st.LastRollback)})
+			}
+			if st.MissedEvents != 0 {
+				fails = append(fails, OracleFailure{OracleSwap,
+					fmt.Sprintf("swap missed %d events", st.MissedEvents)})
+			}
+			return fails
+		},
+	}
+}
+
+// NewHealthSwapCampaign is the faulted-transfer reprogramming campaign:
+// chunk loss and duplication on every run, plus an in-flight corrupted
+// chunk on every third run. Loss must end in a clean rollback or a clean
+// swap; corruption that lands must always roll back at verification.
+// flightDepth > 0 attaches the telemetry flight recorder, so any failing
+// verdict carries the device's persisted event history as a black-box dump.
+func NewHealthSwapCampaign(seed int64, runs, flightDepth int) *SwapCampaign {
+	return &SwapCampaign{
+		Build: func(link monitor.Link, corrupt func(chunk int, data []byte) []byte) (*core.Framework, error) {
+			return buildHealth(func(cfg *core.Config, _ *health.App) {
+				withSwapConfig(cfg, link, corrupt)
+				if flightDepth > 0 {
+					cfg.Telemetry = true
+					cfg.FlightDepth = flightDepth
+				}
+			})
+		},
+		Keys: healthKeys,
+		Invariant: func(ref, got Outcome) error {
+			// Version-agnostic: both spec revisions enforce the same sample
+			// counting; a rolled-back run finishes on v1, a swapped one on
+			// v2, and both must complete the application intact.
+			return healthInvariant(ref, got)
+		},
+		Runs:         runs,
+		Seed:         seed,
+		DropProb:     0.3,
+		DupProb:      0.2,
+		CorruptEvery: 3,
 	}
 }
 

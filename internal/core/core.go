@@ -20,6 +20,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/mayfly"
 	"github.com/tinysystems/artemis-go/internal/monitor"
 	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/ota"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 	"github.com/tinysystems/artemis-go/internal/spec"
 	"github.com/tinysystems/artemis-go/internal/task"
@@ -173,6 +174,36 @@ type Config struct {
 	// boot-looping. 0 disables the watchdog.
 	WatchdogLimit int
 
+	// SwapCompiled, when non-nil, queues an over-the-air monitor
+	// reprogramming (ARTEMIS only): the compiled target spec is encoded as
+	// a versioned, checksummed bundle and delivered chunk-by-chunk over the
+	// monitoring radio link once the runtime's event sequence passes
+	// SwapAt, then activated atomically at a task boundary with live FSM
+	// state migrated per SwapMigration. Incompatible with
+	// ContinuationMonitors (the threaded deployment pins its monitor set).
+	SwapCompiled *transform.Result
+	// SwapVersion is the bundle's version; defaults to 2 (the factory
+	// image is version 1) and must exceed the installed version.
+	SwapVersion uint64
+	// SwapAt is the runtime event sequence number after which the transfer
+	// starts; 0 starts at the first task boundary.
+	SwapAt uint64
+	// SwapMigration maps machine -> old state -> new state; nil derives
+	// the identity map over shared state names (ota.AutoMigration).
+	SwapMigration map[string]map[string]string
+	// SwapLink injects a lossy channel under the OTA transfer when
+	// monitors run on-device (with RemoteMonitors the transfer shares the
+	// remote deployment's link and RadioLink applies to both).
+	SwapLink monitor.Link
+	// SwapPolicy overrides the OTA transfer's retry/backoff schedule when
+	// monitors run on-device.
+	SwapPolicy *monitor.RetryPolicy
+	// SwapChunk overrides the transfer chunk size (default 64 bytes).
+	SwapChunk int
+	// SwapCorrupt, when non-nil, may alter a chunk in flight (fault
+	// injection); corruption is caught at verification and rolls back.
+	SwapCorrupt func(chunk int, data []byte) []byte
+
 	// Telemetry enables the structured event tracer (ARTEMIS only): device
 	// boots/power failures, task lifecycle, monitor transitions, actions,
 	// and integrity repairs, exportable as Chrome trace JSON, JSONL, and
@@ -204,6 +235,8 @@ type Report struct {
 	// Integrity reports the self-healing layer's activity (nil when the
 	// layer is disabled).
 	Integrity *integrity.Stats
+	// OTA reports reprogramming activity (nil when no swap was configured).
+	OTA *ota.Stats
 }
 
 // Framework is an assembled deployment ready to run.
@@ -220,6 +253,7 @@ type Framework struct {
 	res    *transform.Result
 	integ  *integrity.Manager
 	tel    *telemetry.Tracer
+	otaMgr *ota.Manager
 }
 
 // New assembles a deployment.
@@ -367,11 +401,27 @@ func New(cfg Config) (*Framework, error) {
 			}
 			deployed = ts
 		}
+		var otaMgr *ota.Manager
+		var reprog artemis.Reprogrammer
+		if cfg.SwapCompiled != nil {
+			otaMgr, err = f.buildOTA(cfg, mem, mcu, tel, integ, deployed, mons, res)
+			if err != nil {
+				return nil, err
+			}
+			// The runtime delivers through the manager so the deployment
+			// swap is a host-side pointer change behind a stable interface.
+			deployed = otaMgr
+			reprog = otaMgr
+			f.otaMgr = otaMgr
+		} else if cfg.SwapVersion != 0 || cfg.SwapAt != 0 || cfg.SwapMigration != nil ||
+			cfg.SwapLink != nil || cfg.SwapPolicy != nil || cfg.SwapChunk != 0 || cfg.SwapCorrupt != nil {
+			return nil, errors.New("core: Swap* options require Config.SwapCompiled")
+		}
 		rt, err := artemis.New(artemis.Config{
 			MCU: mcu, Graph: cfg.Graph, Store: store, Monitors: deployed,
 			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps, OnDecision: cfg.OnDecision,
 			Extras: extras, Integrity: integ, WatchdogLimit: cfg.WatchdogLimit,
-			Telemetry: tel,
+			Telemetry: tel, OTA: reprog,
 		})
 		if err != nil {
 			return nil, err
@@ -404,6 +454,74 @@ func New(cfg Config) (*Framework, error) {
 		return nil, fmt.Errorf("core: unknown system %v", cfg.System)
 	}
 	return f, nil
+}
+
+// buildOTA encodes the swap bundle, picks the transfer's exchanger (the
+// remote deployment's own when monitors are remote, a dedicated one over
+// SwapLink otherwise), and assembles the reprogramming manager with its
+// integrity guards.
+func (f *Framework) buildOTA(cfg Config, mem *nvm.Memory, mcu *device.MCU, tel *telemetry.Tracer,
+	integ *integrity.Manager, deployed monitor.Interface, mons *monitor.Set, res *transform.Result) (*ota.Manager, error) {
+	if cfg.ContinuationMonitors {
+		return nil, errors.New("core: SwapCompiled is incompatible with ContinuationMonitors")
+	}
+	version := cfg.SwapVersion
+	if version == 0 {
+		version = 2
+	}
+	mig := cfg.SwapMigration
+	if mig == nil {
+		mig = ota.AutoMigration(res.Program, cfg.SwapCompiled.Program)
+	}
+	encoded, err := ota.Encode(&ota.Bundle{Version: version, Result: cfg.SwapCompiled, Migration: mig})
+	if err != nil {
+		return nil, err
+	}
+	var ex *monitor.Exchanger
+	if f.remote != nil {
+		if cfg.SwapLink != nil || cfg.SwapPolicy != nil {
+			return nil, errors.New("core: with RemoteMonitors the OTA transfer shares RadioLink/RadioPolicy; SwapLink/SwapPolicy apply to on-device monitors")
+		}
+		ex = f.remote.Exchanger()
+	} else {
+		cost := monitor.DefaultRadioCost()
+		if cfg.RadioCost != nil {
+			cost = *cfg.RadioCost
+		}
+		ex = monitor.NewExchanger(mcu, cost)
+		ex.SetLink(cfg.SwapLink)
+		if cfg.SwapPolicy != nil {
+			ex.SetRetryPolicy(*cfg.SwapPolicy)
+		}
+	}
+	var mgr *ota.Manager
+	mgr, err = ota.New(ota.Config{
+		Mem: mem, MCU: mcu, Exchanger: ex, Telemetry: tel,
+		Deployment: deployed, ActiveSet: mons,
+		Capacity: len(encoded), Chunk: cfg.SwapChunk,
+		Corrupt: cfg.SwapCorrupt,
+		OnInstall: func(r *transform.Result, set *monitor.Set) {
+			set.SetTracer(tel)
+			f.res = r
+			if integ != nil {
+				for _, m := range set.Monitors() {
+					integ.Protect(fmt.Sprintf("monitor/v%d/%s", mgr.InstalledVersion(), m.Machine().Name),
+						m.Backing(), integrity.ClassMonitor, m.Reset)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if integ != nil {
+		integ.Protect("ota/meta", mgr.Meta(), integrity.ClassControl, nil)
+		integ.Protect("ota/staging", mgr.Staging(), integrity.ClassControl, nil)
+	}
+	if err := mgr.Request(encoded, cfg.SwapAt); err != nil {
+		return nil, err
+	}
+	return mgr, nil
 }
 
 func buildSupply(sc SupplyConfig) (energy.Supply, error) {
@@ -440,8 +558,18 @@ func (f *Framework) Store() *task.Store { return f.store }
 // MCU returns the device model.
 func (f *Framework) MCU() *device.MCU { return f.mcu }
 
-// Monitors returns the ARTEMIS monitor set (nil for Mayfly).
-func (f *Framework) Monitors() *monitor.Set { return f.mons }
+// Monitors returns the ACTIVE ARTEMIS monitor set (nil for Mayfly): after
+// an OTA swap this is the new deployment's set, so inspectors and chaos
+// oracles always read the monitors the runtime is actually delivering to.
+func (f *Framework) Monitors() *monitor.Set {
+	if f.otaMgr != nil {
+		return f.otaMgr.ActiveSet()
+	}
+	return f.mons
+}
+
+// OTA returns the reprogramming manager, or nil when no swap is configured.
+func (f *Framework) OTA() *ota.Manager { return f.otaMgr }
 
 // Artemis returns the ARTEMIS runtime (nil for Mayfly); fault-injection
 // harnesses read its control snapshot and decision stats.
@@ -510,6 +638,10 @@ func (f *Framework) Run() (*Report, error) {
 	if f.integ != nil {
 		st := f.integ.Stats()
 		rep.Integrity = &st
+	}
+	if f.otaMgr != nil {
+		st := f.otaMgr.Stats()
+		rep.OTA = &st
 	}
 	if err != nil {
 		if errors.Is(err, device.ErrNonTermination) ||

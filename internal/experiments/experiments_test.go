@@ -392,3 +392,42 @@ func TestRecoveryShape(t *testing.T) {
 		}
 	}
 }
+
+func TestReprogrammingShape(t *testing.T) {
+	rows, err := Reprogramming(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (0/10/30%% loss)", len(rows))
+	}
+	if !rows[0].Swapped || rows[0].LossPct != 0 {
+		t.Fatalf("lossless row did not swap cleanly: %+v", rows[0])
+	}
+	if rows[0].EventsToSwap == 0 {
+		t.Error("lossless swap reports zero events-to-swap on an intermittent supply")
+	}
+	for _, r := range rows {
+		// Exactly-old-or-exactly-new: every run terminates, either swapped
+		// or rolled back with a reason, and never loses an event to the swap.
+		if !r.Outcome.Completed {
+			t.Errorf("%d%% loss: run did not complete: %+v", r.LossPct, r.Outcome)
+		}
+		if !r.Swapped && r.Rollback == "" {
+			t.Errorf("%d%% loss: neither swapped nor rolled back", r.LossPct)
+		}
+		if r.Missed != 0 {
+			t.Errorf("%d%% loss: %d events missed across the swap", r.LossPct, r.Missed)
+		}
+		if r.Chunks == 0 || r.RadioUJ <= 0 {
+			t.Errorf("%d%% loss: transfer reports no radio activity: %+v", r.LossPct, r)
+		}
+	}
+	// Loss must cost: the faulted transfers pay at least the lossless energy.
+	if rows[1].RadioUJ < rows[0].RadioUJ {
+		t.Errorf("10%% loss cheaper than lossless: %.1f < %.1f µJ", rows[1].RadioUJ, rows[0].RadioUJ)
+	}
+	if !strings.Contains(RenderReprogramming(rows), "Reprogramming") {
+		t.Error("render missing title")
+	}
+}

@@ -45,6 +45,34 @@ accel {
 }
 `
 
+// SpecSourceV2 is the field revision of the Figure-5 specification used by
+// the OTA reprogramming tests and experiments: the same properties over the
+// same tasks and paths — so every compiled machine keeps its name and state
+// shape, making ota.AutoMigration an identity map — with loosened runtime
+// bounds (retry budgets up, deadlines relaxed) of the kind a deployment
+// would push after observing false positives in the field.
+const SpecSourceV2 = `
+micSense: {
+    maxTries: 12 onFail: skipPath;
+}
+
+send: {
+    MITD: 6min dpTask: accel onFail: restartPath maxAttempt: 4 onFail: skipPath Path: 2;
+    maxDuration: 120ms onFail: skipTask;
+    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel {
+    maxTries: 12 onFail: skipPath;
+}
+`
+
 // Store slots used by the application.
 var storeKeys = []string{
 	"temp", "tempSum", "tempCount", "avgTemp",
@@ -170,6 +198,16 @@ func (a *App) Compile() (*transform.Result, error) {
 	return transform.Compile(s, transform.Options{Graph: a.Graph, DataVars: Keys()})
 }
 
+// CompileV2 lowers the OTA revision of the specification against this
+// app's graph.
+func (a *App) CompileV2() (*transform.Result, error) {
+	s, err := spec.Parse(SpecSourceV2)
+	if err != nil {
+		return nil, fmt.Errorf("health: %w", err)
+	}
+	return transform.Compile(s, transform.Options{Graph: a.Graph, DataVars: Keys()})
+}
+
 // sharedCompiled caches one compiled program for the whole process. Every
 // App built by this package has a topology-identical graph (same task
 // names, same paths), so the same compiled result serves them all; the
@@ -185,3 +223,12 @@ var sharedCompiled = sync.OnceValues(func() (*transform.Result, error) {
 // across concurrent simulations; internal/experiments race-tests this.
 // Callers must not modify the returned Result.
 func CompiledShared() (*transform.Result, error) { return sharedCompiled() }
+
+var sharedCompiledV2 = sync.OnceValues(func() (*transform.Result, error) {
+	return New().CompileV2()
+})
+
+// CompiledSharedV2 returns the process-wide compiled OTA-revision monitor
+// program, for handing to core.Config.SwapCompiled. Same immutability and
+// sharing contract as CompiledShared.
+func CompiledSharedV2() (*transform.Result, error) { return sharedCompiledV2() }

@@ -50,16 +50,26 @@ func DefaultRadioCost() RadioCost {
 	}
 }
 
+// ControlSeqBase tags the sequence numbers of control exchanges (path
+// re-initialisation commands, OTA bundle chunks). Event sequence numbers
+// are small monotonic integers assigned by the runtime; control exchanges
+// carry ControlSeqBase | n with their own monotonic n, so the two spaces
+// never collide and per-sequence idempotence on the receiving side can
+// tell a duplicated control message from a distinct one.
+const ControlSeqBase uint64 = 1 << 63
+
 // Link models the radio channel between the host and the external
 // monitoring device, as seen by the retry loop. A nil Link is a perfect
 // channel; fault-injection harnesses supply lossy implementations.
 type Link interface {
 	// Exchange attempts the attempt-th (1-based) round-trip carrying the
-	// event with the given sequence number (0 for control exchanges such
-	// as path re-initialisation). It reports whether the exchange was
-	// delivered and how many duplicate deliveries the channel produced on
-	// top of the first — re-delivering the same sequence number must be
-	// absorbed by per-sequence idempotence on the receiving side.
+	// given sequence number — an event sequence assigned by the runtime,
+	// or a control sequence tagged with ControlSeqBase (path
+	// re-initialisation, OTA bundle chunks). It reports whether the
+	// exchange was delivered and how many duplicate deliveries the channel
+	// produced on top of the first — re-delivering the same sequence
+	// number must be absorbed by per-sequence idempotence on the receiving
+	// side.
 	Exchange(seq uint64, attempt int) (delivered bool, duplicates int)
 }
 
@@ -88,6 +98,105 @@ func DefaultRetryPolicy() RetryPolicy {
 // runtime's per-machine dispatch constant for on-device deployments.
 const localEvalCyclesPerMachine = 18
 
+// Exchanger owns the retry/backoff machinery of a radio link: every
+// outbound transmission — event notifications, control commands, OTA
+// bundle chunks — runs through the same loop, pays the same per-attempt
+// radio cost on the host MCU, and shares one set of channel counters. It
+// also owns the control sequence space: each control exchange draws a
+// fresh monotonic sequence tagged with ControlSeqBase.
+type Exchanger struct {
+	mcu    *device.MCU
+	cost   RadioCost
+	link   Link
+	policy RetryPolicy
+
+	ctrlSeq    uint64
+	retries    int
+	degraded   int
+	duplicates int
+	energy     energy.Joules
+}
+
+// NewExchanger builds the retry machinery for one radio link with a
+// perfect channel and the default retry policy.
+func NewExchanger(mcu *device.MCU, cost RadioCost) *Exchanger {
+	return &Exchanger{mcu: mcu, cost: cost, policy: DefaultRetryPolicy()}
+}
+
+// SetLink installs the radio channel model (nil = perfect link).
+func (x *Exchanger) SetLink(l Link) { x.link = l }
+
+// SetRetryPolicy replaces the retry/backoff schedule.
+func (x *Exchanger) SetRetryPolicy(p RetryPolicy) { x.policy = p }
+
+// Retries returns the number of re-transmissions performed so far.
+func (x *Exchanger) Retries() int { return x.retries }
+
+// Degraded returns how many exchanges exhausted their retries; callers
+// record the fallback they took with noteDegraded.
+func (x *Exchanger) Degraded() int { return x.degraded }
+
+// Duplicates returns how many duplicated deliveries the channel produced
+// (each absorbed by sequence-number idempotence).
+func (x *Exchanger) Duplicates() int { return x.duplicates }
+
+// Energy returns the total radio energy paid through this exchanger.
+func (x *Exchanger) Energy() energy.Joules { return x.energy }
+
+func (x *Exchanger) noteDegraded() { x.degraded++ }
+
+// Exchange runs the retry loop for one outbound transmission carrying the
+// given sequence number. It reports whether the exchange was delivered and
+// how many duplicates arrived.
+func (x *Exchanger) Exchange(seq uint64) (bool, int) {
+	attempts := 1 + x.policy.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	mult := x.policy.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	backoff := x.policy.Backoff
+	for a := 1; a <= attempts; a++ {
+		x.mcu.Radio(x.cost.TxLatency, x.cost.TxEnergy)
+		x.energy += x.cost.TxEnergy
+		if x.link == nil {
+			return true, 0
+		}
+		delivered, dups := x.link.Exchange(seq, a)
+		if delivered {
+			x.duplicates += dups
+			return true, dups
+		}
+		if a < attempts {
+			x.retries++
+			if backoff > 0 {
+				x.mcu.Idle(backoff)
+				backoff = simclock.Duration(float64(backoff) * mult)
+			}
+		}
+	}
+	return false, 0
+}
+
+// ControlExchange draws the next control sequence number (tagged with
+// ControlSeqBase so it can never alias an event sequence) and runs the
+// retry loop for it. It returns the sequence used alongside the delivery
+// outcome, so callers and tests can correlate control messages.
+func (x *Exchanger) ControlExchange() (seq uint64, delivered bool, duplicates int) {
+	x.ctrlSeq++
+	seq = ControlSeqBase | x.ctrlSeq
+	delivered, duplicates = x.Exchange(seq)
+	return seq, delivered, duplicates
+}
+
+// ReceiveAck pays the cost of receiving one verdict/acknowledgement frame.
+func (x *Exchanger) ReceiveAck() {
+	x.mcu.Radio(x.cost.RxLatency, x.cost.RxEnergy)
+	x.energy += x.cost.RxEnergy
+}
+
 // Remote deploys the monitor set on an external device: the host pays radio
 // costs per event instead of evaluation costs, and gains the modularity the
 // paper describes — monitors can be redeployed without touching the host
@@ -103,82 +212,47 @@ const localEvalCyclesPerMachine = 18
 // per sequence number, retries and duplicated deliveries never
 // double-step a machine.
 type Remote struct {
-	set    *Set
-	mcu    *device.MCU
-	cost   RadioCost
-	link   Link
-	policy RetryPolicy
-
-	retries    int
-	degraded   int
-	duplicates int
+	set *Set
+	mcu *device.MCU
+	ex  *Exchanger
 }
 
 // NewRemote wraps a monitor set as an external deployment, charging radio
 // costs on the given host MCU and assuming a perfect link with the default
 // retry policy. Use SetLink / SetRetryPolicy to inject channel faults.
 func NewRemote(set *Set, mcu *device.MCU, cost RadioCost) *Remote {
-	return &Remote{set: set, mcu: mcu, cost: cost, policy: DefaultRetryPolicy()}
+	return &Remote{set: set, mcu: mcu, ex: NewExchanger(mcu, cost)}
 }
 
 // SetLink installs the radio channel model (nil = perfect link).
-func (r *Remote) SetLink(l Link) { r.link = l }
+func (r *Remote) SetLink(l Link) { r.ex.SetLink(l) }
 
 // SetRetryPolicy replaces the retry/backoff schedule.
-func (r *Remote) SetRetryPolicy(p RetryPolicy) { r.policy = p }
+func (r *Remote) SetRetryPolicy(p RetryPolicy) { r.ex.SetRetryPolicy(p) }
 
 // Retries returns the number of re-transmissions performed so far.
-func (r *Remote) Retries() int { return r.retries }
+func (r *Remote) Retries() int { return r.ex.Retries() }
 
 // Degraded returns how many exchanges exhausted their retries and fell
 // back to local evaluation.
-func (r *Remote) Degraded() int { return r.degraded }
+func (r *Remote) Degraded() int { return r.ex.Degraded() }
 
 // Duplicates returns how many duplicated deliveries the channel produced
 // (each absorbed by sequence-number idempotence).
-func (r *Remote) Duplicates() int { return r.duplicates }
+func (r *Remote) Duplicates() int { return r.ex.Duplicates() }
 
-// exchange runs the retry loop for one outbound transmission. It reports
-// whether the exchange was delivered and how many duplicates arrived.
-func (r *Remote) exchange(seq uint64) (bool, int) {
-	attempts := 1 + r.policy.MaxRetries
-	if attempts < 1 {
-		attempts = 1
-	}
-	mult := r.policy.Multiplier
-	if mult < 1 {
-		mult = 2
-	}
-	backoff := r.policy.Backoff
-	for a := 1; a <= attempts; a++ {
-		r.mcu.Radio(r.cost.TxLatency, r.cost.TxEnergy)
-		if r.link == nil {
-			return true, 0
-		}
-		delivered, dups := r.link.Exchange(seq, a)
-		if delivered {
-			r.duplicates += dups
-			return true, dups
-		}
-		if a < attempts {
-			r.retries++
-			if backoff > 0 {
-				r.mcu.Idle(backoff)
-				backoff = simclock.Duration(float64(backoff) * mult)
-			}
-		}
-	}
-	return false, 0
-}
+// Exchanger exposes the shared retry machinery so other traffic over the
+// same link (OTA bundle transfer) runs with the same policy and counters.
+func (r *Remote) Exchanger() *Exchanger { return r.ex }
 
 // Deliver implements Interface: transmit the event (with retries),
 // evaluate remotely, receive the verdict. On a dead link the event is
 // evaluated locally — monitoring degrades rather than silently losing
 // the event.
 func (r *Remote) Deliver(ev Event) ([]ir.Failure, error) {
-	delivered, dups := r.exchange(ev.Seq)
+	delivered, dups := r.ex.Exchange(ev.Seq)
 	if !delivered {
-		r.degraded++
+		r.ex.noteDegraded()
 		r.mcu.Exec(int64(localEvalCyclesPerMachine * len(r.set.monitors)))
 		return r.set.Deliver(ev)
 	}
@@ -193,7 +267,7 @@ func (r *Remote) Deliver(ev Event) ([]ir.Failure, error) {
 			return nil, err
 		}
 	}
-	r.mcu.Radio(r.cost.RxLatency, r.cost.RxEnergy)
+	r.ex.ReceiveAck()
 	return fs, nil
 }
 
@@ -204,11 +278,14 @@ func (r *Remote) Reset() { r.set.Reset() }
 func (r *Remote) Rollback() { r.set.Rollback() }
 
 // ResetPath implements Interface; the re-initialisation command is another
-// radio exchange, retried like any other. Re-initialisation is idempotent,
-// so a lost command is applied locally with the same effect.
+// radio exchange, retried like any other — carrying its own control
+// sequence number, so a channel that duplicates or reorders control
+// messages can still tell two distinct re-initialisations apart.
+// Re-initialisation is idempotent, so a lost command is applied locally
+// with the same effect.
 func (r *Remote) ResetPath(id int) {
-	if delivered, _ := r.exchange(0); !delivered {
-		r.degraded++
+	if _, delivered, _ := r.ex.ControlExchange(); !delivered {
+		r.ex.noteDegraded()
 	}
 	r.set.ResetPath(id)
 }
@@ -218,3 +295,8 @@ func (r *Remote) HostMachines() int { return 0 }
 
 // Set returns the wrapped on-device set, for inspection in tests.
 func (r *Remote) Set() *Set { return r.set }
+
+// ReplaceSet swaps the wrapped on-device set for a new deployment (OTA
+// reprogramming): the exchanger — its link, policy, and counters — stays,
+// because the radio channel did not change, only the monitors behind it.
+func (r *Remote) ReplaceSet(set *Set) { r.set = set }

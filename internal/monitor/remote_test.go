@@ -160,6 +160,88 @@ func TestRemoteDuplicateDeliveriesAreIdempotent(t *testing.T) {
 	}
 }
 
+// recordingLink delivers everything, logs the sequence numbers it sees,
+// and duplicates each delivery dup times.
+type recordingLink struct {
+	seqs []uint64
+	dup  int
+}
+
+func (l *recordingLink) Exchange(seq uint64, attempt int) (bool, int) {
+	l.seqs = append(l.seqs, seq)
+	return true, l.dup
+}
+
+func TestControlExchangesUseDistinctSequences(t *testing.T) {
+	mem := nvm.New(64 * 1024)
+	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+	mcu := testMCU(t, mem)
+	link := &recordingLink{dup: 1}
+	rem := NewRemote(set, mcu, DefaultRadioCost())
+	rem.SetLink(link)
+
+	// An event delivery plus two path re-initialisations through a
+	// duplicating channel. Before the control sequence space existed, both
+	// ResetPath commands went out as seq 0 and the receiver's per-sequence
+	// idempotence could not tell the duplicated first command from the
+	// distinct second one.
+	if _, err := rem.Deliver(startEv(1, "accel", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rem.ResetPath(2)
+	rem.ResetPath(2)
+
+	if len(link.seqs) != 3 {
+		t.Fatalf("seqs = %v, want 3 exchanges", link.seqs)
+	}
+	ctrl1, ctrl2 := link.seqs[1], link.seqs[2]
+	if ctrl1&ControlSeqBase == 0 || ctrl2&ControlSeqBase == 0 {
+		t.Fatalf("control exchanges %#x, %#x missing ControlSeqBase tag", ctrl1, ctrl2)
+	}
+	if ctrl1 == ctrl2 {
+		t.Fatalf("two distinct control exchanges share seq %#x — duplicates are indistinguishable from distinct commands", ctrl1)
+	}
+	if ctrl2 <= ctrl1 {
+		t.Fatalf("control sequences not monotonic: %#x then %#x", ctrl1, ctrl2)
+	}
+	if link.seqs[0]&ControlSeqBase != 0 {
+		t.Fatalf("event seq %#x landed in the control space", link.seqs[0])
+	}
+}
+
+func TestRetryPolicyMultiplierClamping(t *testing.T) {
+	// The doc promises Multiplier "defaults to 2 when zero or less than 1":
+	// a sub-1 multiplier must never shrink backoff into a retry storm. All
+	// three cases below must produce the same 5 ms → 10 ms schedule as an
+	// explicit Multiplier of 2; Multiplier 1 keeps backoff flat at 5 ms.
+	cases := []struct {
+		mult float64
+		want simclock.Duration // total backoff across two waits
+	}{
+		{0, 15 * simclock.Millisecond},   // clamped to 2: 5 + 10
+		{0.5, 15 * simclock.Millisecond}, // clamped to 2: 5 + 10, never 5 + 2.5
+		{1, 10 * simclock.Millisecond},   // legal flat backoff: 5 + 5
+	}
+	for _, tc := range cases {
+		mem := nvm.New(64 * 1024)
+		set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)
+		mcu := testMCU(t, mem)
+		rem := NewRemote(set, mcu, DefaultRadioCost())
+		rem.SetLink(&scriptedLink{fails: map[uint64]int{1: 2}})
+		rem.SetRetryPolicy(RetryPolicy{MaxRetries: 2, Backoff: 5 * simclock.Millisecond, Multiplier: tc.mult})
+
+		before := mcu.Now()
+		if _, err := rem.Deliver(startEv(1, "accel", 0, 2)); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := simclock.Duration(mcu.Now() - before)
+		fixed := 3*DefaultRadioCost().TxLatency + DefaultRadioCost().RxLatency
+		if got := elapsed - fixed; got != tc.want {
+			t.Errorf("Multiplier=%v: total backoff %v, want %v", tc.mult, got, tc.want)
+		}
+	}
+}
+
 func TestRemotePerfectLinkNeverRetries(t *testing.T) {
 	mem := nvm.New(64 * 1024)
 	set := compileSet(t, mem, `accel { maxTries: 3 onFail: skipPath; }`)

@@ -1,0 +1,49 @@
+package monitor
+
+import (
+	"fmt"
+)
+
+// AdoptFrom migrates FSM state from an old monitor instance into m, the
+// OTA swap's state carry-over: m enters the given target state (a state of
+// m's machine, typically the migration map's image of old's current state),
+// inherits old's event-replay bookkeeping so the new deployment never
+// re-processes an event the old one already answered, and copies every
+// machine variable that exists in both machines with the same name and
+// type — in m's declaration order, so the staged write sequence is
+// deterministic. Variables with no counterpart keep the initial values a
+// preceding Reset established.
+//
+// The migrated configuration is staged and committed on m's own region;
+// nothing references the new deployment until the activation flip, so the
+// commit is inert if the swap later rolls back.
+func (m *Monitor) AdoptFrom(old *Monitor, toState string) error {
+	idx := m.machine.StateIndex(toState)
+	if idx < 0 {
+		return fmt.Errorf("monitor: migration target state %q not in machine %s", toState, m.machine.Name)
+	}
+	m.env.SetState(idx)
+	m.env.setLastSeq(old.env.lastSeq())
+	for _, v := range m.machine.Vars {
+		ov := old.machine.Var(v.Name)
+		if ov == nil || ov.Type != v.Type {
+			continue
+		}
+		if val, ok := old.env.GetVar(v.Name); ok {
+			if err := m.env.SetVar(v.Name, val); err != nil {
+				return err
+			}
+		}
+	}
+	m.env.Commit()
+	return nil
+}
+
+// SeedReplay carries only the event-replay bookkeeping from old into m:
+// used for unmapped machines, whose FSM state resets per-path semantics
+// (fresh initial configuration) but which must still recognise an already
+// answered event sequence instead of re-stepping on its re-delivery.
+func (m *Monitor) SeedReplay(old *Monitor) {
+	m.env.setLastSeq(old.env.lastSeq())
+	m.env.Commit()
+}

@@ -327,3 +327,102 @@ func TestSetByteAtAtomic(t *testing.T) {
 		t.Fatalf("single-byte store not durable across crash: %#x", got)
 	}
 }
+
+// A three-member group modelling the OTA layout: control words, live data,
+// and a staging area whose contents ride along every group commit but are
+// never promoted on their own. A crash at every byte offset of the commit
+// sequence must leave the trio exactly-old or exactly-new together, and a
+// rollback — torn commit or explicit Revert — must discard the staged image
+// byte-exactly.
+func TestCommitGroupStagingRollbackByteExact(t *testing.T) {
+	const metaN, dataN, stageN = 16, 24, 32
+	pattern := func(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+	oldImgs := [][]byte{pattern(0x11, metaN), pattern(0x22, dataN), pattern(0x33, stageN)}
+	newImgs := [][]byte{pattern(0x44, metaN), pattern(0x55, dataN), pattern(0x66, stageN)}
+	build := func() (*Memory, *CommitGroup, [3]*Committed) {
+		m := New(4096)
+		g := MustNewCommitGroup(m, "t", "grp")
+		meta := MustAllocCommitted(m, "t", "meta", metaN)
+		data := MustAllocCommitted(m, "t", "data", dataN)
+		staging := MustAllocCommitted(m, "t", "staging", stageN)
+		meta.Join(g)
+		data.Join(g)
+		staging.Join(g)
+		cs := [3]*Committed{meta, data, staging}
+		for i, c := range cs {
+			c.Write(0, oldImgs[i])
+		}
+		g.Commit()
+		return m, g, cs
+	}
+
+	// The group commit writes every member's full shadow image in join
+	// order, then the one-byte selector flip.
+	total := metaN + dataN + stageN + 1
+	sawOld, sawNew := false, false
+	for point := 1; point <= total; point++ {
+		m, g, cs := build()
+		for i, c := range cs {
+			c.Write(0, newImgs[i])
+		}
+		m.SetCrashHook(point, func() { panic(crash{}) })
+		if !crashing(func() { g.Commit() }) {
+			t.Fatalf("crash hook did not fire at byte %d of %d", point, total)
+		}
+		m.SetCrashHook(0, nil)
+		for _, c := range cs {
+			c.Reopen()
+		}
+		// Classify by the first member, then require every member — the
+		// never-activated staging region included — to agree byte-exactly.
+		got0 := make([]byte, metaN)
+		cs[0].Read(0, got0)
+		var want [][]byte
+		switch {
+		case bytes.Equal(got0, oldImgs[0]):
+			want, sawOld = oldImgs, true
+		case bytes.Equal(got0, newImgs[0]):
+			want, sawNew = newImgs, true
+		default:
+			t.Fatalf("crash byte %d: meta image torn: %x", point, got0)
+		}
+		for i, c := range cs {
+			got := make([]byte, c.Size())
+			c.Read(0, got)
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("crash byte %d: member %d diverged from the group: %x", point, i, got)
+			}
+		}
+	}
+	// Only the crash on the selector byte itself lands new; everything
+	// before it must roll back. Both terminal images must have been seen.
+	if !sawOld || !sawNew {
+		t.Fatalf("crash sweep missed a terminal image: old=%v new=%v", sawOld, sawNew)
+	}
+
+	// Explicit rollback: a committed-but-regretted group state reverts in
+	// one selector flip; after Reopen, both the stages and the committed
+	// images of all members — staging included — are byte-identical to the
+	// pre-commit baseline.
+	_, g, cs := build()
+	for i, c := range cs {
+		c.Write(0, newImgs[i])
+	}
+	g.Commit()
+	g.Revert()
+	for _, c := range cs {
+		c.Reopen()
+	}
+	for i, c := range cs {
+		staged := make([]byte, c.Size())
+		c.Read(0, staged)
+		if !bytes.Equal(staged, oldImgs[i]) {
+			t.Fatalf("revert: member %d stage %x, want baseline %x", i, staged, oldImgs[i])
+		}
+		committed := make([]byte, c.Size())
+		c.ReadCommitted(committed)
+		if !bytes.Equal(committed, oldImgs[i]) {
+			t.Fatalf("revert: member %d committed image %x, want baseline %x", i, committed, oldImgs[i])
+		}
+	}
+}

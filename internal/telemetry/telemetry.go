@@ -56,6 +56,8 @@ const (
 	KindPropertyFail                      // property violated (Name = machine, Aux = action, A = path)
 	KindActionTaken                       // arbitrated action executed (Name = action, Aux = machine, A = path)
 	KindScrubRepair                       // integrity repair (Name = policy, Aux = guard)
+	KindSpecSwap                          // OTA spec activated (Name = "ota", A = new version)
+	KindSwapRollback                      // OTA swap rolled back (Name = reason, A = staged version)
 
 	kindCount
 )
@@ -83,6 +85,10 @@ func (k Kind) String() string {
 		return "actionTaken"
 	case KindScrubRepair:
 		return "scrubRepair"
+	case KindSpecSwap:
+		return "specSwap"
+	case KindSwapRollback:
+		return "swapRollback"
 	}
 	return "unknown"
 }
@@ -289,6 +295,28 @@ func (t *Tracer) ScrubRepair(policy, guard string, at simclock.Time) {
 	}
 	t.emit(Event{Kind: KindScrubRepair, At: at,
 		Name: t.intern(policy), Aux: t.intern(guard)}, true)
+}
+
+// SpecSwap records the atomic activation of a new OTA spec bundle version.
+// Persisted, so a post-reboot flight dump shows which spec the device
+// resumed on.
+func (t *Tracer) SpecSwap(version uint64, at simclock.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindSpecSwap, At: at,
+		Name: t.intern("ota"), Aux: -1, A: int64(version)}, true)
+}
+
+// SwapRollback records an aborted OTA swap: the staged bundle (version) was
+// discarded and the device stays on the previous spec. reason names the
+// abort cause (transfer, checksum, parse, version, migration).
+func (t *Tracer) SwapRollback(reason string, staged uint64, at simclock.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindSwapRollback, At: at,
+		Name: t.intern(reason), Aux: -1, A: int64(staged)}, true)
 }
 
 // CommitFlip counts one commit-group selector flip — the NVM atomic commit
