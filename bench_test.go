@@ -20,6 +20,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/codegen/gen"
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/experiments"
+	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
@@ -115,6 +116,13 @@ func BenchmarkSingleRunMayfly(b *testing.B) {
 	benchmarkSingleRun(b, core.Mayfly)
 }
 
+// BenchmarkOcelotRun measures the Ocelot-style freshness-enforcement
+// runtime on the same workload: the per-dispatch staleness check plus the
+// timestamp commit per producer, with no monitors compiled in.
+func BenchmarkOcelotRun(b *testing.B) {
+	benchmarkSingleRun(b, core.Ocelot)
+}
+
 func benchmarkSingleRun(b *testing.B, sys core.System) {
 	for i := 0; i < b.N; i++ {
 		app := health.New()
@@ -125,8 +133,11 @@ func benchmarkSingleRun(b *testing.B, sys core.System) {
 			SpecSource: health.SpecSource,
 			Supply:     core.SupplyConfig{Kind: core.SupplyContinuous},
 		}
-		if sys == core.Mayfly {
+		switch sys {
+		case core.Mayfly:
 			cfg.Constraints = mayfly.HealthConstraints()
+		case core.Ocelot:
+			cfg.FreshnessBounds = freshness.HealthBounds()
 		}
 		f, err := core.New(cfg)
 		if err != nil {

@@ -5,6 +5,8 @@
 //	artemis-sim                          # ARTEMIS, continuous power
 //	artemis-sim -charging 6m             # 800 µJ boots, 6-minute recharges
 //	artemis-sim -system mayfly -charging 6m
+//	artemis-sim -system ocelot -charging 6m -budget 980   # freshness enforcement: re-collect stale inputs
+//	artemis-sim -system ocelot -freshness-bound 8m        # loosen the accel->send staleness bound
 //	artemis-sim -temp 39.2               # feverish patient: completePath fires
 //	artemis-sim -harvest 5e-6            # physical capacitor + 5 µW harvester
 //	artemis-sim -show-ir                 # print the generated monitor machines
@@ -29,6 +31,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/chaos"
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
@@ -51,7 +54,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("artemis-sim", flag.ContinueOnError)
 	var (
 		appName  = fs.String("app", "health", "application: health or camera")
-		system   = fs.String("system", "artemis", "runtime: artemis or mayfly")
+		system   = fs.String("system", "artemis", "runtime: artemis, mayfly, or ocelot")
 		charging = fs.String("charging", "", "charging delay (e.g. 6m, 90s); empty = continuous power")
 		budget   = fs.Float64("budget", 800, "usable energy per boot in µJ (with -charging)")
 		harvest  = fs.Float64("harvest", 0, "harvested power in watts; selects the physical capacitor model")
@@ -77,6 +80,7 @@ func run(args []string, w io.Writer) error {
 		swapSpec = fs.Bool("swap-spec", false, "queue an over-the-air update to the v2 (loosened-bounds) health spec mid-run")
 		swapAt   = fs.Uint64("swap-at", 2, "runtime event sequence number after which the OTA transfer starts (with -swap-spec)")
 		swapLoss = fs.Float64("swap-chunk-loss", 0, "per-attempt drop probability on the OTA transfer link (with -swap-spec)")
+		freshStr = fs.String("freshness-bound", "", "override the accel->send staleness bound (e.g. 8m; with -system ocelot)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,8 +99,8 @@ func run(args []string, w io.Writer) error {
 	if scrub < 0 {
 		return fmt.Errorf("-scrub-interval %q: must not be negative", *scrubStr)
 	}
-	if (*useInteg || *watchdog > 0) && *system == "mayfly" {
-		return fmt.Errorf("-integrity and -watchdog-limit require -system artemis (the Mayfly baseline has no self-healing layer)")
+	if (*useInteg || *watchdog > 0) && *system != "artemis" {
+		return fmt.Errorf("-integrity and -watchdog-limit require -system artemis (the baselines have no self-healing layer)")
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: must be >= 0 (0 = one per CPU)", *workers)
@@ -107,8 +111,24 @@ func run(args []string, w io.Writer) error {
 	if *flight < 0 {
 		return fmt.Errorf("-flight %d: must be >= 0 (0 disables the NVM flight recorder)", *flight)
 	}
-	if (*traceOut != "" || *metOut != "" || *flight > 0) && *system != "artemis" {
-		return fmt.Errorf("-trace/-metrics/-flight require -system artemis (telemetry hooks live in the ARTEMIS runtime)")
+	if (*traceOut != "" || *metOut != "") && *system == "mayfly" {
+		return fmt.Errorf("-trace/-metrics require -system artemis or ocelot (the Mayfly baseline has no telemetry hooks)")
+	}
+	if *flight > 0 && *system != "artemis" {
+		return fmt.Errorf("-flight requires -system artemis (the NVM flight recorder lives in the ARTEMIS runtime)")
+	}
+	var freshBound simclock.Duration
+	if *freshStr != "" {
+		if *system != "ocelot" {
+			return fmt.Errorf("-freshness-bound configures the Ocelot-style enforcement runtime; add -system ocelot")
+		}
+		freshBound, err = simclock.ParseDuration(*freshStr)
+		if err != nil {
+			return fmt.Errorf("-freshness-bound %q: %v", *freshStr, err)
+		}
+		if freshBound <= 0 {
+			return fmt.Errorf("-freshness-bound %q: must be positive", *freshStr)
+		}
 	}
 	if *dumpFSM != "" && *runChaos {
 		return fmt.Errorf("-dump-fsm needs a single compiled deployment; drop -chaos")
@@ -118,7 +138,7 @@ func run(args []string, w io.Writer) error {
 		case *runChaos:
 			return fmt.Errorf("-swap-spec conflicts with -chaos (the campaign queues its own spec swaps)")
 		case *system != "artemis":
-			return fmt.Errorf("-swap-spec requires -system artemis (the Mayfly baseline has no monitor deployment to reprogram)")
+			return fmt.Errorf("-swap-spec requires -system artemis (only the ARTEMIS runtime hosts a monitor deployment to reprogram)")
 		case *appName != "health":
 			return fmt.Errorf("-swap-spec updates the health specification; -app %s is not supported", *appName)
 		case *swapLoss < 0 || *swapLoss >= 1:
@@ -217,8 +237,20 @@ func run(args []string, w io.Writer) error {
 		}
 		cfg.System = core.Mayfly
 		cfg.Constraints = mayfly.HealthConstraints()
+	case "ocelot":
+		if *appName != "health" {
+			return fmt.Errorf("the Ocelot-style freshness runtime supports only -app health")
+		}
+		cfg.System = core.Ocelot
+		bounds := freshness.HealthBounds()
+		if freshBound > 0 {
+			for i := range bounds {
+				bounds[i].Age = freshBound
+			}
+		}
+		cfg.FreshnessBounds = bounds
 	default:
-		return fmt.Errorf("unknown -system %q (want artemis or mayfly)", *system)
+		return fmt.Errorf("unknown -system %q (want artemis, mayfly, or ocelot)", *system)
 	}
 	if *swapSpec {
 		v2, err := health.CompiledSharedV2()
@@ -415,7 +447,12 @@ func printReport(w io.Writer, f *core.Framework, rep *core.Report, outputKeys []
 		}
 	}
 	if st := rep.MayflyStats; st != nil {
-		fmt.Fprintf(w, "decisions:  pathRestarts=%d taskRuns=%d\n", st.PathRestarts, st.TaskRuns)
+		fmt.Fprintf(w, "decisions:  pathRestarts=%d taskRuns=%d freshnessFailures=%d\n",
+			st.PathRestarts, st.TaskRuns, st.FreshnessFailures)
+	}
+	if st := rep.FreshnessStats; st != nil {
+		fmt.Fprintf(w, "freshness:  taskRuns=%d stale=%d re-collections=%d violations=%d\n",
+			st.TaskRuns, st.StaleDetected, st.ReCollections, st.Violations)
 	}
 	if tel := f.Telemetry(); tel != nil {
 		fmt.Fprintf(w, "telemetry:  %d events", tel.EventCount())

@@ -203,6 +203,16 @@ func TestRejectedFlagCombos(t *testing.T) {
 		{[]string{"-metrics", "/tmp/m.txt", "-system", "mayfly"}, "-system artemis"},
 		{[]string{"-dump-fsm", "/tmp/fsm", "-chaos"}, "drop -chaos"},
 		{[]string{"-dump-fsm", "/tmp/fsm", "-system", "mayfly"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-swap-spec"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-chaos"}, "ARTEMIS runtime"},
+		{[]string{"-system", "ocelot", "-integrity"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-watchdog-limit", "5"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-flight", "32"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-dump-fsm", "/tmp/fsm"}, "-system artemis"},
+		{[]string{"-system", "ocelot", "-app", "camera"}, "only -app health"},
+		{[]string{"-freshness-bound", "8m"}, "add -system ocelot"},
+		{[]string{"-system", "ocelot", "-freshness-bound", "soon"}, "-freshness-bound"},
+		{[]string{"-system", "ocelot", "-freshness-bound", "0s"}, "must be positive"},
 	}
 	for _, c := range cases {
 		err := run(c.args, &bytes.Buffer{})
@@ -212,6 +222,38 @@ func TestRejectedFlagCombos(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("args %v: error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestOcelotRuntime exercises the freshness-enforcement runtime end to end:
+// at a 6-minute charging delay the 5-minute accel->send bound is stale on
+// every reboot-separated consumption, and the report shows the re-collection
+// with zero violations.
+func TestOcelotRuntime(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "ocelot", "-charging", "6m", "-budget", "980"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Ocelot", "completed", "re-collections=1", "violations=0", "sentCount=3.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestOcelotFreshnessBoundOverride loosens the bound past the charging
+// delay: nothing is ever stale, so no enforcement work happens.
+func TestOcelotFreshnessBoundOverride(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "ocelot", "-charging", "6m", "-budget", "980", "-freshness-bound", "8m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"completed", "stale=0", "re-collections=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -115,6 +115,14 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		show(experiments.TableAlternatives(rows))
+		// The runtime-alternatives half of the comparison: how ARTEMIS,
+		// Mayfly, and the Ocelot-style enforcement runtime each handle
+		// input staleness when the charging delay crosses the bound.
+		frows, err := experiments.InputFreshness(opt)
+		if err != nil {
+			return err
+		}
+		show(experiments.TableInputFreshness(frows))
 	}
 	if all || *physical {
 		rows, err := experiments.Figure12Physical(opt)

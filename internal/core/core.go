@@ -1,7 +1,8 @@
 // Package core is the assembly facade of the framework: one call builds a
 // complete simulated deployment — MSP430-class device, FRAM, power supply,
-// task store, compiled monitors, and the chosen runtime (ARTEMIS or the
-// Mayfly baseline) — and runs the application on intermittent power.
+// task store, compiled monitors, and the chosen runtime (ARTEMIS, the
+// Mayfly baseline, or the Ocelot-style freshness-enforcement runtime) —
+// and runs the application on intermittent power.
 //
 // Examples and the experiment harness both build on this package; the
 // underlying pieces remain individually usable for finer control.
@@ -15,6 +16,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/artemis"
 	"github.com/tinysystems/artemis-go/internal/device"
 	"github.com/tinysystems/artemis-go/internal/energy"
+	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/integrity"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
@@ -35,6 +37,11 @@ type System int
 const (
 	Artemis System = iota
 	Mayfly
+	// Ocelot is the automatic input-freshness-enforcement runtime
+	// (internal/freshness): no monitors and no restart adaptation — stale
+	// sensor inputs are detected against per-input bounds and re-collected
+	// before the consumer runs.
+	Ocelot
 )
 
 func (s System) String() string {
@@ -43,6 +50,8 @@ func (s System) String() string {
 		return "ARTEMIS"
 	case Mayfly:
 		return "Mayfly"
+	case Ocelot:
+		return "Ocelot"
 	default:
 		return fmt.Sprintf("system(%d)", int(s))
 	}
@@ -109,6 +118,14 @@ type Config struct {
 	Compiled *transform.Result
 	// Constraints is the Mayfly constraint set (ignored by ARTEMIS).
 	Constraints []mayfly.Constraint
+	// FreshnessBounds is the declared input-freshness bound set (Ocelot
+	// only). The runtime enforces these plus any bounds inferred from the
+	// task graph under FreshnessDefault (freshness.InferBounds).
+	FreshnessBounds []freshness.Bound
+	// FreshnessDefault, when positive, gives every graph-inferred
+	// (sensor task, path-final task) pair without a declared bound this
+	// maximum input age (Ocelot only). Zero infers no extra bounds.
+	FreshnessDefault simclock.Duration
 
 	Supply SupplyConfig
 
@@ -204,11 +221,12 @@ type Config struct {
 	// injection); corruption is caught at verification and rolls back.
 	SwapCorrupt func(chunk int, data []byte) []byte
 
-	// Telemetry enables the structured event tracer (ARTEMIS only): device
-	// boots/power failures, task lifecycle, monitor transitions, actions,
-	// and integrity repairs, exportable as Chrome trace JSON, JSONL, and
-	// Prometheus-style metrics. Off by default — the disabled path is
-	// allocation-free and perturbs neither write counts nor energy.
+	// Telemetry enables the structured event tracer (ARTEMIS and Ocelot):
+	// device boots/power failures, task lifecycle, monitor transitions,
+	// actions, integrity repairs, and freshness enforcement, exportable as
+	// Chrome trace JSON, JSONL, and Prometheus-style metrics. Off by
+	// default — the disabled path is allocation-free and perturbs neither
+	// write counts nor energy.
 	Telemetry bool
 	// FlightDepth, when positive, attaches the crash-resilient NVM flight
 	// recorder with that many ring slots and implies Telemetry. Its NVM
@@ -229,9 +247,11 @@ type Report struct {
 	Footprints map[string]int
 	// Wear reports FRAM bytes written per owner over the run (endurance).
 	Wear map[string]int64
-	// ArtemisStats / MayflyStats expose the runtime's decision counters.
-	ArtemisStats *artemis.Stats
-	MayflyStats  *mayfly.Stats
+	// ArtemisStats / MayflyStats / FreshnessStats expose the runtime's
+	// decision counters.
+	ArtemisStats   *artemis.Stats
+	MayflyStats    *mayfly.Stats
+	FreshnessStats *freshness.Stats
 	// Integrity reports the self-healing layer's activity (nil when the
 	// layer is disabled).
 	Integrity *integrity.Stats
@@ -248,6 +268,7 @@ type Framework struct {
 
 	art    *artemis.Runtime
 	may    *mayfly.Runtime
+	fresh  *freshness.Runtime
 	mons   *monitor.Set
 	remote *monitor.Remote
 	res    *transform.Result
@@ -320,8 +341,14 @@ func New(cfg Config) (*Framework, error) {
 	if cfg.FlightDepth < 0 {
 		return nil, fmt.Errorf("core: FlightDepth must be >= 0, got %d", cfg.FlightDepth)
 	}
-	if (cfg.Telemetry || cfg.FlightDepth > 0) && cfg.System != Artemis {
-		return nil, errors.New("core: Telemetry and FlightDepth require the ARTEMIS runtime")
+	if cfg.FlightDepth > 0 && cfg.System != Artemis {
+		return nil, errors.New("core: FlightDepth requires the ARTEMIS runtime")
+	}
+	if cfg.Telemetry && cfg.System == Mayfly {
+		return nil, errors.New("core: Telemetry requires the ARTEMIS or Ocelot runtime")
+	}
+	if (len(cfg.FreshnessBounds) > 0 || cfg.FreshnessDefault != 0) && cfg.System != Ocelot {
+		return nil, errors.New("core: FreshnessBounds and FreshnessDefault require the Ocelot runtime")
 	}
 	var tel *telemetry.Tracer
 	if cfg.Telemetry || cfg.FlightDepth > 0 {
@@ -450,6 +477,16 @@ func New(cfg Config) (*Framework, error) {
 			return nil, err
 		}
 		f.may = rt
+	case Ocelot:
+		bounds := freshness.InferBounds(cfg.Graph, cfg.FreshnessBounds, cfg.FreshnessDefault)
+		rt, err := freshness.New(freshness.Config{
+			MCU: mcu, Graph: cfg.Graph, Store: store, Bounds: bounds,
+			Rounds: cfg.Rounds, MaxSteps: cfg.MaxSteps, Telemetry: tel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.fresh = rt
 	default:
 		return nil, fmt.Errorf("core: unknown system %v", cfg.System)
 	}
@@ -575,6 +612,10 @@ func (f *Framework) OTA() *ota.Manager { return f.otaMgr }
 // harnesses read its control snapshot and decision stats.
 func (f *Framework) Artemis() *artemis.Runtime { return f.art }
 
+// Ocelot returns the freshness-enforcement runtime, or nil for the other
+// systems.
+func (f *Framework) Ocelot() *freshness.Runtime { return f.fresh }
+
 // Remote returns the remote monitor deployment, or nil when monitors run
 // on-device.
 func (f *Framework) Remote() *monitor.Remote { return f.remote }
@@ -604,9 +645,12 @@ func (f *Framework) OnReboot(fn func(n int, off simclock.Duration)) {
 // — it is a measured outcome of the experiments).
 func (f *Framework) Run() (*Report, error) {
 	var boot func() error
-	if f.art != nil {
+	switch {
+	case f.art != nil:
 		boot = f.art.Boot
-	} else {
+	case f.fresh != nil:
+		boot = f.fresh.Boot
+	default:
 		boot = f.may.Boot
 	}
 	res, err := f.dev.Run(boot)
@@ -635,6 +679,10 @@ func (f *Framework) Run() (*Report, error) {
 		st := f.may.Stats()
 		rep.MayflyStats = &st
 	}
+	if f.fresh != nil {
+		st := f.fresh.Stats()
+		rep.FreshnessStats = &st
+	}
 	if f.integ != nil {
 		st := f.integ.Stats()
 		rep.Integrity = &st
@@ -645,7 +693,8 @@ func (f *Framework) Run() (*Report, error) {
 	}
 	if err != nil {
 		if errors.Is(err, device.ErrNonTermination) ||
-			errors.Is(err, artemis.ErrStuck) || errors.Is(err, mayfly.ErrStuck) {
+			errors.Is(err, artemis.ErrStuck) || errors.Is(err, mayfly.ErrStuck) ||
+			errors.Is(err, freshness.ErrStuck) {
 			rep.NonTerminated = true
 			return rep, nil
 		}

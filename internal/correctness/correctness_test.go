@@ -1,0 +1,294 @@
+package correctness_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/correctness"
+	"github.com/tinysystems/artemis-go/internal/device"
+	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/simclock"
+	"github.com/tinysystems/artemis-go/internal/task"
+)
+
+// buildHazardFixture deploys a deliberately unsafe app on the Mayfly
+// baseline: its task read-modify-writes a RAW persistent counter — the
+// textbook write-after-read hazard no commit protects. crashOnce, when
+// set, injects one power failure immediately after the hazardous write,
+// so the re-execution observes the interrupted attempt's own write.
+func buildHazardFixture(t *testing.T, crashOnce bool) (*core.Framework, *correctness.Tracker) {
+	t.Helper()
+	var tr *correctness.Tracker
+	crashed := false
+	f, err := core.New(core.Config{
+		System:    core.Mayfly,
+		StoreKeys: []string{"out"},
+		BuildApp: func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error) {
+			tr = correctness.NewTracker(mem)
+			counter, err := nvm.AllocVar[int64](mem, "app", "hazCounter")
+			if err != nil {
+				return nil, nil, err
+			}
+			bump := &task.Task{
+				Name:   "bump",
+				Cycles: 100,
+				Run: func(c *task.Ctx) error {
+					v := counter.Get() // read ...
+					counter.Set(v + 1) // ... then write: WAR on raw NVM
+					if crashOnce && !crashed {
+						crashed = true
+						panic(device.PowerFailure{At: c.MCU.Now()})
+					}
+					c.Store.Set("out", float64(v+1))
+					return nil
+				},
+			}
+			g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{bump}})
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err = tr.InstrumentGraph(g)
+			return g, nil, err
+		},
+		Supply: core.SupplyConfig{Kind: core.SupplyContinuous},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.OnReboot(func(n int, _ simclock.Duration) { tr.Reboot() })
+	return f, tr
+}
+
+// TestWARHazardDetected is the static positive: even WITHOUT a crash, one
+// continuous execution of the fixture exposes the read-then-write pattern.
+func TestWARHazardDetected(t *testing.T) {
+	f, tr := buildHazardFixture(t, false)
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		t.Fatalf("fixture run failed: %v %+v", err, rep)
+	}
+	hz := tr.Hazards()
+	if len(hz) != 1 {
+		t.Fatalf("hazards = %v, want exactly the counter hazard", hz)
+	}
+	if hz[0].Task != "bump" || hz[0].Owner != "app" || hz[0].Name != "hazCounter" {
+		t.Fatalf("hazard misattributed: %+v", hz[0])
+	}
+	if out := correctness.FormatHazards(hz); !strings.Contains(out, "HAZARD task bump read-then-wrote app/hazCounter") {
+		t.Fatalf("report rendering: %q", out)
+	}
+	// No crash happened, so the dynamic oracles stay quiet.
+	if v := tr.ReExecutionViolations(); len(v) != 0 {
+		t.Fatalf("no crash, but re-execution violations: %v", v)
+	}
+}
+
+// TestReExecutionViolationAtCrash is the dynamic positive: crash right
+// after the hazardous write and the re-execution reads the value the
+// interrupted attempt wrote — the formal memory-consistency condition the
+// "memory" oracle enforces, observable as the counter double-incrementing.
+func TestReExecutionViolationAtCrash(t *testing.T) {
+	f, tr := buildHazardFixture(t, true)
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		t.Fatalf("fixture run failed: %v %+v", err, rep)
+	}
+	if rep.Reboots != 1 {
+		t.Fatalf("reboots = %d, want 1", rep.Reboots)
+	}
+	v := tr.ReExecutionViolations()
+	if len(v) != 1 || v[0].Oracle != correctness.OracleMemory {
+		t.Fatalf("violations = %v, want one memory-oracle violation", v)
+	}
+	if !strings.Contains(v[0].Detail, "app/hazCounter") {
+		t.Fatalf("violation not attributed to the counter: %q", v[0].Detail)
+	}
+	// The observable damage the oracle predicts: out = 2, not 1.
+	if out := f.Store().Get("out"); out != 2 {
+		t.Fatalf("out = %v — expected the double-increment the WAR hazard causes", out)
+	}
+}
+
+// TestIdempotentGraphClean is the negative: a task that only writes raw
+// state blind (no read-before-write) and routes data through the committed
+// store survives the same crash with no hazard and no violation.
+func TestIdempotentGraphClean(t *testing.T) {
+	var tr *correctness.Tracker
+	crashed := false
+	f, err := core.New(core.Config{
+		System:    core.Mayfly,
+		StoreKeys: []string{"out"},
+		BuildApp: func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error) {
+			tr = correctness.NewTracker(mem)
+			scratch, err := nvm.AllocVar[int64](mem, "app", "scratch")
+			if err != nil {
+				return nil, nil, err
+			}
+			set := &task.Task{
+				Name:   "set",
+				Cycles: 100,
+				Run: func(c *task.Ctx) error {
+					scratch.Set(7) // blind write: idempotent under re-execution
+					if !crashed {
+						crashed = true
+						panic(device.PowerFailure{At: c.MCU.Now()})
+					}
+					c.Store.Set("out", float64(scratch.Get()))
+					return nil
+				},
+			}
+			g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{set}})
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err = tr.InstrumentGraph(g)
+			return g, nil, err
+		},
+		Supply: core.SupplyConfig{Kind: core.SupplyContinuous},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.OnReboot(func(int, simclock.Duration) { tr.Reboot() })
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		t.Fatalf("run failed: %v %+v", err, rep)
+	}
+	if hz := tr.Hazards(); len(hz) != 0 {
+		t.Fatalf("idempotent graph reported hazards: %v", hz)
+	}
+	if v := tr.ReExecutionViolations(); len(v) != 0 {
+		t.Fatalf("idempotent graph reported violations: %v", v)
+	}
+	if out := f.Store().Get("out"); out != 7 {
+		t.Fatalf("out = %v, want 7", out)
+	}
+}
+
+// TestInputReCollection covers the inputs oracle both ways: a re-execution
+// that re-performs the interrupted attempt's peripheral sequence is clean;
+// one that skips it (simulated by consuming the input only on the first
+// attempt) violates the re-collection condition.
+func TestInputReCollection(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		skipResamp bool
+		violations int
+	}{
+		{"re-collected", false, 0},
+		{"replayed", true, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr *correctness.Tracker
+			crashed := false
+			f, err := core.New(core.Config{
+				System:    core.Mayfly,
+				StoreKeys: []string{"out"},
+				BuildApp: func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error) {
+					tr = correctness.NewTracker(mem)
+					// The fixture performs its sensor read inside the body so
+					// the "replayed" variant can skip it on re-execution —
+					// modelling a runtime that serves a persisted sample
+					// instead of re-sampling.
+					sample := &task.Task{
+						Name:   "sample",
+						Cycles: 100,
+						Run: func(c *task.Ctx) error {
+							if !tc.skipResamp || !crashed {
+								tr.Input("adc")
+								c.MCU.Peripheral("adc")
+							}
+							if !crashed {
+								crashed = true
+								panic(device.PowerFailure{At: c.MCU.Now()})
+							}
+							c.Store.Set("out", 1)
+							return nil
+						},
+					}
+					g, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{sample}})
+					if err != nil {
+						return nil, nil, err
+					}
+					g, err = tr.InstrumentGraph(g)
+					return g, nil, err
+				},
+				Supply: core.SupplyConfig{Kind: core.SupplyContinuous},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.OnReboot(func(int, simclock.Duration) { tr.Reboot() })
+			if rep, err := f.Run(); err != nil || !rep.Completed {
+				t.Fatalf("run failed: %v %+v", err, rep)
+			}
+			v := tr.InputViolations()
+			if len(v) != tc.violations {
+				t.Fatalf("input violations = %v, want %d", v, tc.violations)
+			}
+			crashed = false
+		})
+	}
+}
+
+// TestHealthWorkloadClean is the acceptance check that the shipped
+// workload is hazard-free: a full instrumented ARTEMIS run of the health
+// benchmark reports no WAR hazard on raw persistent state.
+func TestHealthWorkloadClean(t *testing.T) {
+	app := health.New()
+	res, err := health.CompiledShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *correctness.Tracker
+	f, err := core.New(core.Config{
+		System:    core.Artemis,
+		StoreKeys: health.Keys(),
+		Compiled:  res,
+		BuildApp: func(mem *nvm.Memory) (*task.Graph, []task.Persistent, error) {
+			tr = correctness.NewTracker(mem)
+			g, err := tr.InstrumentGraph(app.Graph)
+			return g, nil, err
+		},
+		Supply: core.SupplyConfig{Kind: core.SupplyContinuous},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		t.Fatalf("health run failed: %v %+v", err, rep)
+	}
+	if len(tr.Segments()) == 0 {
+		t.Fatal("tracker saw no task executions")
+	}
+	if hz := tr.Hazards(); len(hz) != 0 {
+		t.Fatalf("health workload must be WAR-clean, got:\n%s", correctness.FormatHazards(hz))
+	}
+}
+
+// TestImageSet covers projection semantics of the reachability helper.
+func TestImageSet(t *testing.T) {
+	s := correctness.NewImageSet(16, []int{8})
+	if !s.Contains(make([]byte, 16)) {
+		t.Fatal("all-zero image must be reachable")
+	}
+	img := make([]byte, 16)
+	img[0] = 1
+	if s.Contains(img) {
+		t.Fatal("unknown image must not be a member")
+	}
+	s.Add(img)
+	// A copy differing only inside the masked slot is the same state.
+	img2 := make([]byte, 16)
+	img2[0] = 1
+	img2[12] = 0xFF
+	if !s.Contains(img2) {
+		t.Fatal("projection must ignore the masked slot")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/mayfly"
 	"github.com/tinysystems/artemis-go/internal/parallel"
@@ -98,9 +99,14 @@ func runHealth(system core.System, supply core.SupplyConfig, o Options, hook fun
 		Supply:     supply,
 		MaxReboots: o.NonTermReboots,
 	}
-	if system == core.Mayfly {
+	switch system {
+	case core.Mayfly:
 		cfg.Constraints = mayfly.HealthConstraints()
-	} else {
+	case core.Ocelot:
+		// The enforced counterpart of the spec's MITD: accel data consumed
+		// by send at most 5 minutes old.
+		cfg.FreshnessBounds = freshness.HealthBounds()
+	default:
 		// Compile the Figure-5 spec once per process instead of once per
 		// run; the result is immutable and shared by concurrent sweeps.
 		res, err := health.CompiledShared()

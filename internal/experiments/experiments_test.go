@@ -188,8 +188,8 @@ func TestTable2Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
 	}
 	byComp := map[string]Table2Row{}
 	for _, r := range rows {
@@ -212,6 +212,13 @@ func TestTable2Shape(t *testing.T) {
 	}
 	if mon.FRAM <= art.FRAM {
 		t.Errorf("monitor FRAM %d <= runtime %d", mon.FRAM, art.FRAM)
+	}
+	// The Ocelot-style enforcer is the leanest runtime: its control words
+	// plus one timestamp slot per bounded producer, no per-edge property
+	// metadata and no monitor machines.
+	oce := byComp["Ocelot freshness runtime"]
+	if oce.FRAM >= art.FRAM {
+		t.Errorf("Ocelot FRAM %d, want below ARTEMIS runtime %d", oce.FRAM, art.FRAM)
 	}
 	// The optional integrity layer must stay a small add-on: per guarded
 	// region it persists one double-buffered CRC, well under what the

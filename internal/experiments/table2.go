@@ -44,6 +44,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	runs := []t2run{
 		{"ARTEMIS", core.Artemis, nil},
 		{"Mayfly", core.Mayfly, nil},
+		{"Ocelot", core.Ocelot, nil},
 		{"integrity", core.Artemis, func(cfg *core.Config) { cfg.Integrity = true }},
 	}
 	reps, err := sweep(o, runs, func(_ int, r t2run) (*core.Report, error) {
@@ -56,7 +57,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	artRep, mayRep, intRep := reps[0], reps[1], reps[2]
+	artRep, mayRep, oceRep, intRep := reps[0], reps[1], reps[2], reps[3]
 
 	res, err := health.CompiledShared()
 	if err != nil {
@@ -73,6 +74,15 @@ func Table2(o Options) ([]Table2Row, error) {
 			Text:      sourceBytes("mayfly/mayfly.go"),
 			RAM:       stagingBytes(mayRep, "mayfly"),
 			FRAM:      mayRep.Footprints["mayfly"],
+		},
+		{
+			// The Ocelot-style freshness enforcer is the leanest of the
+			// three: Mayfly's control layout plus one timestamp slot per
+			// bounded producer, no per-task/per-edge metadata, no monitors.
+			Component: "Ocelot freshness runtime",
+			Text:      sourceBytes("freshness/freshness.go"),
+			RAM:       stagingBytes(oceRep, "ocelot"),
+			FRAM:      oceRep.Footprints["ocelot"],
 		},
 		{
 			Component: "ARTEMIS runtime",
@@ -131,6 +141,11 @@ func stagingBytes(rep *core.Report, owner string) int {
 		// One committed control region (4 words = 32 B staged); endTime and
 		// collected slots are plain Vars with no staging.
 		return 32
+	case "ocelot":
+		// The Mayfly-shaped control region (32 B staged) plus the stamps
+		// region: one 8-byte timestamp slot for the benchmark's single
+		// bounded producer (accel).
+		return 32 + 8
 	default:
 		return 0
 	}

@@ -64,6 +64,12 @@ type Config struct {
 type Stats struct {
 	TaskRuns     int
 	PathRestarts int
+	// FreshnessFailures counts dispatches blocked by a stale input (an
+	// unsatisfied MITD whose data timestamp is too old). Each one triggers
+	// a path restart; under a charging delay beyond the MITD the counter
+	// grows without bound — the Figure-12 livelock, and the like-for-like
+	// column against Ocelot's enforced zero.
+	FreshnessFailures int
 }
 
 // ErrStuck reports livelock on continuous power (step budget exhausted).
@@ -260,6 +266,7 @@ func (r *Runtime) propsSatisfied(t *task.Task, pathID int) bool {
 		if c.MITD > 0 {
 			end := r.endTime[c.DpTask].Get()
 			if end == 0 || now.Sub(simclock.Time(end)) > c.MITD {
+				r.stats.FreshnessFailures++
 				return false
 			}
 		}

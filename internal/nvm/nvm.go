@@ -69,7 +69,25 @@ type Memory struct {
 	// crash explorers use it to fingerprint the persistent state at each
 	// potential failure point.
 	observer func()
+
+	// access, when non-nil, runs on every raw read and write operation
+	// with the affected offset and bytes. Correctness trackers use it to
+	// build per-task read/write sets over the persistent image.
+	access func(op AccessOp, off int, p []byte)
+	// accessBuf is the reusable staging slice write accesses are reported
+	// through: copying p here keeps callers' stack-built buffers from
+	// escaping to the heap just because an observer *could* be installed.
+	accessBuf []byte
 }
+
+// AccessOp classifies one raw FRAM access for access observers.
+type AccessOp uint8
+
+// Access operation kinds reported to SetAccessObserver hooks.
+const (
+	OpRead AccessOp = iota
+	OpWrite
+)
 
 // Allocation describes one region handed out by Alloc.
 type Allocation struct {
@@ -127,6 +145,20 @@ func (m *Memory) SetWriteCrashHook(n int, hook func()) {
 // SetWriteObserver installs fn to run after every completed write
 // operation (nil uninstalls). Observers must not write to the memory.
 func (m *Memory) SetWriteObserver(fn func()) { m.observer = fn }
+
+// SetAccessObserver installs fn to run on every raw FRAM access (nil
+// uninstalls): reads as the bytes are fetched, writes before any byte is
+// stored — so a write torn by a crash hook is still recorded as attempted,
+// matching what recovery may observe. The slice aliases internal buffers
+// (the persistent image for reads, a reused staging copy for writes);
+// observers must not retain or mutate it, and must not access the memory.
+//
+// Note the scope: Committed staging traffic lives in volatile SRAM and is
+// invisible here by design — the observer sees exactly the accesses that
+// touch the persistent image (raw Region/Var traffic, shadow-buffer writes,
+// selector reads and flips). The observer survives Reboot, so trackers can
+// follow an execution across power failures.
+func (m *Memory) SetAccessObserver(fn func(op AccessOp, off int, p []byte)) { m.access = fn }
 
 // Reboot models a power-cycle as seen by the FRAM: all data is retained,
 // but the allocator restarts from zero because the next boot re-runs the
@@ -203,11 +235,17 @@ func (m *Memory) Allocations() []Allocation {
 func (m *Memory) read(off, n int) []byte {
 	m.stats.Reads++
 	m.stats.BytesRead += int64(n)
+	if m.access != nil {
+		m.access(OpRead, off, m.data[off:off+n])
+	}
 	return m.data[off : off+n]
 }
 
 func (m *Memory) write(off int, p []byte) {
 	m.stats.Writes++
+	if m.access != nil {
+		m.reportWrite(off, p)
+	}
 	if owner := m.ownerAt(off); owner != "" {
 		m.wear[owner] += int64(len(p))
 	}
@@ -237,6 +275,20 @@ func (m *Memory) write(off int, p []byte) {
 	if m.observer != nil {
 		m.observer()
 	}
+}
+
+// reportWrite hands a write to the access observer through the memory's
+// own staging slice. The indirection is load-bearing for performance:
+// passing p straight to the observer (an unknown function) would make
+// escape analysis heap-allocate every small stack-built write buffer in
+// the hot path, observer installed or not.
+func (m *Memory) reportWrite(off int, p []byte) {
+	if cap(m.accessBuf) < len(p) {
+		m.accessBuf = make([]byte, len(p))
+	}
+	buf := m.accessBuf[:len(p)]
+	copy(buf, p)
+	m.access(OpWrite, off, buf)
 }
 
 // ownerAt resolves the owner of the allocation containing off, or "".
@@ -647,6 +699,23 @@ func (c *Committed) ReadCommitted(p []byte) {
 		panic(fmt.Sprintf("nvm: committed-image read of %d bytes out of size %d", len(p), c.size))
 	}
 	c.current().Read(0, p)
+}
+
+// PeekCommitted copies the last committed image into p WITHOUT touching the
+// charged read path, the stats, or the access observer. It is a host-side
+// instrument for oracles and debuggers: correctness checks that ran through
+// ReadCommitted would perturb the energy model (FRAM reads are charged) and
+// so change the very crash schedule they are judging. Never use it from
+// simulated device code.
+func (c *Committed) PeekCommitted(p []byte) {
+	if len(p) > c.size {
+		panic(fmt.Sprintf("nvm: committed-image peek of %d bytes out of size %d", len(p), c.size))
+	}
+	r := c.a
+	if c.sel.mem.data[c.sel.off] != 0 {
+		r = c.b
+	}
+	copy(p, r.mem.data[r.off:r.off+len(p)])
 }
 
 // ReadShadow copies the previous committed image (the shadow buffer) into

@@ -116,6 +116,14 @@ func (t *Tracer) ChromeTrace(w io.Writer) error {
 			out = append(out, chromeEvent{Name: t.NameOf(ev.Name), Ph: "i", Ts: ts,
 				Pid: 1, Tid: tidMonitors, S: "t",
 				Args: map[string]any{"by": t.NameOf(ev.Aux), "path": ev.A}})
+		case KindInputStale:
+			out = append(out, chromeEvent{Name: "stale " + t.NameOf(ev.Name), Ph: "i", Ts: ts,
+				Pid: 1, Tid: tidTasks, S: "t",
+				Args: map[string]any{"consumer": t.NameOf(ev.Aux), "age_us": ev.A}})
+		case KindReCollect:
+			out = append(out, chromeEvent{Name: "re-collect " + t.NameOf(ev.Name), Ph: "i", Ts: ts,
+				Pid: 1, Tid: tidTasks, S: "t",
+				Args: map[string]any{"consumer": t.NameOf(ev.Aux)}})
 		case KindScrubRepair:
 			out = append(out, chromeEvent{Name: t.NameOf(ev.Name), Ph: "i", Ts: ts,
 				Pid: 1, Tid: tidIntegrity, S: "t",

@@ -58,6 +58,8 @@ const (
 	KindScrubRepair                       // integrity repair (Name = policy, Aux = guard)
 	KindSpecSwap                          // OTA spec activated (Name = "ota", A = new version)
 	KindSwapRollback                      // OTA swap rolled back (Name = reason, A = staged version)
+	KindInputStale                        // stale input detected (Name = producer, Aux = consumer, A = age µs, -1 = never collected)
+	KindReCollect                         // stale input re-collected (Name = producer, Aux = consumer)
 
 	kindCount
 )
@@ -89,6 +91,10 @@ func (k Kind) String() string {
 		return "specSwap"
 	case KindSwapRollback:
 		return "swapRollback"
+	case KindInputStale:
+		return "inputStale"
+	case KindReCollect:
+		return "reCollect"
 	}
 	return "unknown"
 }
@@ -317,6 +323,30 @@ func (t *Tracer) SwapRollback(reason string, staged uint64, at simclock.Time) {
 	}
 	t.emit(Event{Kind: KindSwapRollback, At: at,
 		Name: t.intern(reason), Aux: -1, A: int64(staged)}, true)
+}
+
+// InputStale records a freshness-bound miss: consumer was about to run on
+// producer data older than its bound (ageUS, in µs; -1 means the input was
+// never collected, e.g. first dispatch after a reboot wiped the schedule).
+// Persisted, so a post-reboot flight dump shows which inputs went stale
+// across the outage.
+func (t *Tracer) InputStale(producer, consumer string, ageUS int64, at simclock.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindInputStale, At: at,
+		Name: t.intern(producer), Aux: t.intern(consumer), A: ageUS}, true)
+}
+
+// ReCollect records the enforcement action paired with an InputStale: the
+// producer was re-executed and its fresh sample committed before consumer
+// ran. Persisted.
+func (t *Tracer) ReCollect(producer, consumer string, at simclock.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindReCollect, At: at,
+		Name: t.intern(producer), Aux: t.intern(consumer)}, true)
 }
 
 // CommitFlip counts one commit-group selector flip — the NVM atomic commit

@@ -50,6 +50,8 @@ func TestZeroAllocDisabled(t *testing.T) {
 		tr.TaskCommit("sense", 1, 200)
 		tr.CommitFlip()
 		tr.ActionTaken("restartPath", "maxTries_sense", 1, 200)
+		tr.InputStale("accel", "send", 360_000_000, 200)
+		tr.ReCollect("accel", "send", 200)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled-tracer hot path allocates %.1f per run, want 0", allocs)
@@ -82,6 +84,42 @@ func TestEmitIntern(t *testing.T) {
 	tr.TaskStart("sense", 3, 30)
 	if tr.Events()[3].Name != evs[1].Name {
 		t.Fatal("intern returned a fresh index for a known string")
+	}
+}
+
+// TestFreshnessEvents checks the Ocelot enforcement kinds: producer and
+// consumer intern, the stale age rides in A, and both kinds persist to the
+// flight ring (a staleness decision is exactly what a post-mortem needs).
+func TestFreshnessEvents(t *testing.T) {
+	mem := nvm.New(4096)
+	tr := New()
+	if err := tr.AttachFlight(mem, 8); err != nil {
+		t.Fatal(err)
+	}
+	tr.InputStale("accel", "send", 360_000_000, 100)
+	tr.ReCollect("accel", "send", 150)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("EventCount = %d, want 2", len(evs))
+	}
+	stale, rec := evs[0], evs[1]
+	if stale.Kind != KindInputStale || rec.Kind != KindReCollect {
+		t.Fatalf("kinds = %v, %v", stale.Kind, rec.Kind)
+	}
+	if KindInputStale.String() != "inputStale" || KindReCollect.String() != "reCollect" {
+		t.Fatalf("kind strings = %q, %q", KindInputStale, KindReCollect)
+	}
+	if tr.NameOf(stale.Name) != "accel" || tr.NameOf(stale.Aux) != "send" {
+		t.Fatalf("InputStale interning broken: %+v", stale)
+	}
+	if stale.A != 360_000_000 {
+		t.Fatalf("InputStale age = %d µs, want 360000000", stale.A)
+	}
+	if rec.Name != stale.Name || rec.Aux != stale.Aux {
+		t.Fatal("ReCollect did not reuse the interned producer/consumer")
+	}
+	if got := tr.PersistedCount(); got != 2 {
+		t.Fatalf("PersistedCount = %d, want 2 (both kinds persist)", got)
 	}
 }
 
