@@ -17,6 +17,8 @@
 //	artemis-sim -watchdog-limit 5 -charging 1s -budget 5   # break starved-task boot loops
 //	artemis-sim -swap-spec -swap-at 3    # over-the-air update to the v2 spec mid-run
 //	artemis-sim -swap-spec -swap-chunk-loss 0.3 -seed 7    # lossy OTA transfer; swap or clean rollback
+//	artemis-sim -rounds 2000 -cpuprofile cpu.out          # profile the hot path (go tool pprof cpu.out)
+//	artemis-sim -rounds 2000 -memprofile mem.out          # heap profile of the same run
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/tinysystems/artemis-go/internal/action"
 	"github.com/tinysystems/artemis-go/internal/camera"
@@ -50,9 +54,11 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("artemis-sim", flag.ContinueOnError)
 	var (
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		appName  = fs.String("app", "health", "application: health or camera")
 		system   = fs.String("system", "artemis", "runtime: artemis, mayfly, or ocelot")
 		charging = fs.String("charging", "", "charging delay (e.g. 6m, 90s); empty = continuous power")
@@ -87,6 +93,42 @@ func run(args []string, w io.Writer) error {
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
+	// Profiling covers everything from here to exit — a single run is over
+	// in microseconds, so meaningful profiles come from long invocations
+	// (e.g. -rounds 2000, or a -chaos campaign).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-cpuprofile: %v", cerr)
+			}
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, ferr := os.Create(path)
+			if ferr == nil {
+				runtime.GC() // settle the heap so the profile shows live data
+				ferr = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); ferr == nil {
+					ferr = cerr
+				}
+			}
+			if ferr != nil && err == nil {
+				err = fmt.Errorf("-memprofile: %v", ferr)
+			}
+		}()
+	}
 
 	// Reject nonsensical combinations up front, before any simulation runs.
 	if *watchdog < 0 {

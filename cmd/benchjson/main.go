@@ -4,9 +4,16 @@
 // B/op, allocs/op per benchmark plus the workers=1 vs workers=N wall-clock
 // ratio for the parallel-executor benchmarks.
 //
-//	benchjson                          # full suite -> BENCH_4.json
+//	benchjson                          # full suite -> BENCH_5.json
 //	benchjson -bench 'NVM' -o nvm.json # a subset, elsewhere
 //	benchjson -benchtime 1x            # quick smoke (noisy numbers)
+//
+// It is also the regression gate between two committed baselines:
+//
+//	benchjson -compare BENCH_5.json new.json -max-regress 10%
+//
+// exits non-zero if any benchmark present in both files regressed by more
+// than the threshold in ns/op or allocs/op.
 package main
 
 import (
@@ -62,23 +69,40 @@ type Benchmark struct {
 }
 
 // Speedup compares a workers=N sub-benchmark against its workers=1
-// sibling: Ratio > 1 means the parallel run was faster.
+// sibling: Ratio > 1 means the parallel run was faster. When the host
+// cannot actually run N workers in parallel (N > GOMAXPROCS — e.g. a
+// single-core CI runner), the ratio measures time-slicing overhead, not
+// parallel speedup, and Note says so.
 type Speedup struct {
 	Benchmark string  `json:"benchmark"`
 	Workers   int     `json:"workers"`
 	Ratio     float64 `json:"ratio_vs_workers_1"`
+	Note      string  `json:"note,omitempty"`
 }
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		bench     = fs.String("bench", "ExhaustiveSweep|FlipCampaign|NVMWrite|NVMHash|SingleRun|OcelotRun|PersistentMonitor|Telemetry|SpecSwap", "benchmark filter passed to go test -bench")
-		benchtime = fs.String("benchtime", "", "passed to go test -benchtime; empty = the go test default")
-		pkg       = fs.String("pkg", ".", "package to benchmark")
-		out       = fs.String("o", "BENCH_4.json", "output path; - = stdout")
+		bench      = fs.String("bench", "ExhaustiveSweep|FlipCampaign|NVMWrite|NVMHash|SingleRun|OcelotRun|PersistentMonitor|Telemetry|SpecSwap", "benchmark filter passed to go test -bench")
+		benchtime  = fs.String("benchtime", "", "passed to go test -benchtime; empty = the go test default")
+		pkg        = fs.String("pkg", ".", "package to benchmark")
+		out        = fs.String("o", "BENCH_5.json", "output path; - = stdout")
+		compareIt  = fs.Bool("compare", false, "compare two baseline files (old new) instead of running benchmarks")
+		maxRegress = fs.String("max-regress", "10%", "with -compare: tolerated ns/op and allocs/op growth before failing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compareIt {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files: benchjson -compare old.json new.json")
+		}
+		tol, err := parsePercent(*maxRegress)
+		if err != nil {
+			return fmt.Errorf("-max-regress: %w", err)
+		}
+		return compareFiles(fs.Arg(0), fs.Arg(1), tol, w)
 	}
 
 	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
@@ -116,6 +140,107 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	return nil
+}
+
+// parsePercent accepts "10%", "10", or "0.1" (all meaning 10%).
+func parsePercent(s string) (float64, error) {
+	trimmed, hadSign := strings.CutSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a percentage", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("threshold %q is negative", s)
+	}
+	if !hadSign && v < 1 {
+		return v, nil // already a fraction, e.g. 0.1
+	}
+	return v / 100, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+func compareFiles(oldPath, newPath string, tol float64, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	regressions := compare(oldRep, newRep, tol, w)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), tol*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%% (%s -> %s)\n", tol*100, oldPath, newPath)
+	return nil
+}
+
+// compare prints a per-benchmark delta table and returns the list of
+// regressions beyond tol. Benchmarks present in only one file are reported
+// but never fail the gate — suites grow and shrink across PRs.
+func compare(oldRep, newRep *Report, tol float64, w io.Writer) []string {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var regressions []string
+	seen := map[string]bool{}
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s new benchmark (no baseline)\n", nb.Name)
+			continue
+		}
+		seen[nb.Name] = true
+		nsDelta := ratioDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := ratioDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		fmt.Fprintf(w, "%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %8d -> %8d (%+6.1f%%)\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta*100,
+			ob.AllocsPerOp, nb.AllocsPerOp, allocDelta*100)
+		if nsDelta > tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta*100))
+		}
+		if allocDelta > tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %d -> %d (%+.1f%%)", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta*100))
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s dropped from suite (was %.0f ns/op)\n", ob.Name, ob.NsPerOp)
+		}
+	}
+	return regressions
+}
+
+// ratioDelta is the fractional growth from old to cur: +0.10 = 10% slower
+// or 10% more allocations. A zero baseline regresses on any increase
+// (reported as +100%) — going from 0 allocs/op to any is always a finding.
+func ratioDelta(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - old) / old
 }
 
 // resultLine matches standard `go test -benchmem` output, e.g.
@@ -170,11 +295,11 @@ func parse(out string) (*Report, error) {
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark results in go test output:\n%s", out)
 	}
-	rep.Speedups = speedups(rep.Benchmarks)
+	rep.Speedups = speedups(rep.Benchmarks, rep.Env.GOMAXPROCS)
 	return rep, nil
 }
 
-func speedups(benches []Benchmark) []Speedup {
+func speedups(benches []Benchmark, maxProcs int) []Speedup {
 	serial := map[string]float64{}
 	for _, b := range benches {
 		if m := workersSub.FindStringSubmatch("Benchmark" + b.Name); m != nil && m[2] == "1" {
@@ -193,11 +318,17 @@ func speedups(benches []Benchmark) []Speedup {
 			continue
 		}
 		workers, _ := strconv.Atoi(m[2])
-		out = append(out, Speedup{
+		s := Speedup{
 			Benchmark: name,
 			Workers:   workers,
 			Ratio:     base / b.NsPerOp,
-		})
+		}
+		if workers > maxProcs {
+			s.Note = fmt.Sprintf(
+				"workers=%d exceeds GOMAXPROCS=%d: ratio measures goroutine time-slicing, not parallel speedup",
+				workers, maxProcs)
+		}
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Benchmark != out[j].Benchmark {

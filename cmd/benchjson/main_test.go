@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,6 +60,142 @@ func TestSpeedups(t *testing.T) {
 	flip := rep.Speedups[1]
 	if flip.Benchmark != "FlipCampaign" || flip.Workers != 4 || flip.Ratio < 2.99 || flip.Ratio > 3.01 {
 		t.Errorf("FlipCampaign speedup = %+v, want workers=4 ratio ~3.0", flip)
+	}
+}
+
+func TestSpeedupNoteWhenWorkersExceedProcs(t *testing.T) {
+	rep, err := parse(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-core host cannot run any of the parallel variants in
+	// parallel: every ratio must carry the time-slicing caveat.
+	ann := speedups(rep.Benchmarks, 1)
+	if len(ann) != 2 {
+		t.Fatalf("got %d speedups, want 2", len(ann))
+	}
+	for _, s := range ann {
+		if s.Note == "" {
+			t.Errorf("workers=%d on GOMAXPROCS=1 has no note: %+v", s.Workers, s)
+		}
+	}
+	// With enough cores the note must be absent.
+	for _, s := range speedups(rep.Benchmarks, 8) {
+		if s.Note != "" {
+			t.Errorf("workers=%d on GOMAXPROCS=8 unexpectedly annotated: %q", s.Workers, s.Note)
+		}
+	}
+}
+
+func TestParsePercent(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"10%", 0.10, false},
+		{"10", 0.10, false},
+		{"0.1", 0.10, false},
+		{"25%", 0.25, false},
+		{"0%", 0, false},
+		{"-5%", 0, true},
+		{"lots", 0, true},
+	} {
+		got, err := parsePercent(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parsePercent(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePercent(%q): %v", c.in, err)
+		} else if got < c.want-1e-9 || got > c.want+1e-9 {
+			t.Errorf("parsePercent(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func benchReport(benches ...Benchmark) *Report {
+	return &Report{Schema: "artemis-go/bench/v1", Benchmarks: benches}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := benchReport(
+		Benchmark{Name: "SingleRunArtemis", NsPerOp: 100_000, AllocsPerOp: 200},
+		Benchmark{Name: "NVMWrite", NsPerOp: 90, AllocsPerOp: 0},
+		Benchmark{Name: "Dropped", NsPerOp: 10, AllocsPerOp: 1},
+	)
+	cur := benchReport(
+		Benchmark{Name: "SingleRunArtemis", NsPerOp: 125_000, AllocsPerOp: 205}, // ns/op +25%
+		Benchmark{Name: "NVMWrite", NsPerOp: 91, AllocsPerOp: 1},                // allocs 0 -> 1
+		Benchmark{Name: "Fresh", NsPerOp: 5, AllocsPerOp: 0},
+	)
+	var buf bytes.Buffer
+	regs := compare(old, cur, 0.10, &buf)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v\n%s", len(regs), regs, buf.String())
+	}
+	if !strings.Contains(regs[0], "SingleRunArtemis: ns/op") {
+		t.Errorf("first regression = %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "NVMWrite: allocs/op 0 -> 1") {
+		t.Errorf("second regression = %q", regs[1])
+	}
+	for _, want := range []string{"new benchmark", "dropped from suite"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	old := benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 100_000, AllocsPerOp: 200})
+	cur := benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 105_000, AllocsPerOp: 210})
+	var buf bytes.Buffer
+	if regs := compare(old, cur, 0.10, &buf); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+	// Improvements never fail, however large.
+	faster := benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 20_000, AllocsPerOp: 50})
+	if regs := compare(old, faster, 0.10, &buf); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		t.Helper()
+		enc, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("old.json", benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 100_000, AllocsPerOp: 200}))
+	bad := write("bad.json", benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 150_000, AllocsPerOp: 200}))
+	good := write("good.json", benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 101_000, AllocsPerOp: 200}))
+
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "-max-regress", "10%", old, bad}, &buf); err == nil {
+		t.Fatal("50% ns/op regression passed the gate")
+	} else if !strings.Contains(err.Error(), "regressed beyond 10%") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	buf.Reset()
+	if err := run([]string{"-compare", "-max-regress", "10%", old, good}, &buf); err != nil {
+		t.Fatalf("1%% drift failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Errorf("pass output missing summary:\n%s", buf.String())
+	}
+	if err := run([]string{"-compare", old}, &buf); err == nil {
+		t.Fatal("-compare with one file accepted")
 	}
 }
 

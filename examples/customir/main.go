@@ -17,28 +17,16 @@ import (
 	"log"
 
 	"github.com/tinysystems/artemis-go/internal/codegen"
+	"github.com/tinysystems/artemis-go/internal/examplespecs"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/simclock"
 )
 
-const customIR = `
-// Alternation: after a send completes, another send must not start until a
-// sample has completed. Three violations in a row complete the path.
-machine SendAlternation {
-    var sent: bool = false
-    var burst: int = 0
-    initial state Watch {
-        on end [task == "sample"] -> Watch { sent = false; burst = 0; }
-        on end [task == "send" && !sent] -> Watch { sent = true; }
-        on start [task == "send" && sent && burst < 2] -> Watch { burst = burst + 1; fail restartTask; }
-        on start [task == "send" && sent && burst >= 2] -> Watch { burst = 0; sent = false; fail completePath; }
-    }
-}
-`
-
 func main() {
-	// Parse and statically check the hand-written machine.
-	prog, err := ir.Parse(customIR)
+	// Parse and statically check the hand-written machine — the alternation
+	// source lives in internal/examplespecs, where the engine-equivalence
+	// harness also deploys it end to end under both monitor engines.
+	prog, err := ir.Parse(examplespecs.CustomIRSource)
 	if err != nil {
 		log.Fatal(err)
 	}

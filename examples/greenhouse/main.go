@@ -24,85 +24,20 @@ import (
 	"log"
 
 	"github.com/tinysystems/artemis-go/internal/core"
-	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/examplespecs"
 )
 
-const spec = `
-soilSense {
-    period: 2min jitter: 30s onFail: restartPath maxAttempt: 4 onFail: skipPath;
-    maxTries: 8 onFail: skipPath;
-}
-
-calcMoisture {
-    collect: 5 dpTask: soilSense onFail: restartPath;
-    dpData: moisture Range: [30, 100] onFail: completePath;
-}
-
-valve {
-    maxDuration: 500ms onFail: skipTask;
-}
-`
-
 func main() {
-	// The soil starts moist and dries a little with every sample, so a long
-	// enough run always ends in the dpData emergency opening the valve.
-	soilSense := &task.Task{
-		Name:        "soilSense",
-		Cycles:      3_000,
-		Peripherals: []string{"adc"},
-		Run: func(c *task.Ctx) error {
-			reading := 60 - 3*c.Get("sampleCount")
-			if reading < 5 {
-				reading = 5 // fully dry soil still reads a little
-			}
-			c.Set("lastReading", reading)
-			c.Add("readingSum", reading)
-			c.Add("sampleCount", 1)
-			return nil
-		},
-	}
-	calcMoisture := &task.Task{
-		Name:    "calcMoisture",
-		Cycles:  4_000,
-		DepData: "moisture",
-		Run: func(c *task.Ctx) error {
-			if n := c.Get("sampleCount"); n > 0 {
-				c.Set("moisture", c.Get("readingSum")/n)
-			}
-			return nil
-		},
-	}
-	valve := &task.Task{
-		Name:        "valve",
-		Cycles:      10_000,
-		Peripherals: []string{"ble"}, // actuator command over radio
-		Run: func(c *task.Ctx) error {
-			if c.Get("moisture") < 30 {
-				c.Add("irrigations", 1)
-			}
-			return nil
-		},
-	}
-	graph, err := task.NewGraph(
-		&task.Path{ID: 1, Tasks: []*task.Task{soilSense, calcMoisture, valve}},
-	)
+	// The full deployment — graph, spec, and harvested supply — lives in
+	// internal/examplespecs, where the engine-equivalence harness holds it
+	// to the compiled-vs-interpreted contract. The soil starts moist and
+	// dries a little with every sample, so a long enough run always ends
+	// in the dpData emergency opening the valve.
+	cfg, err := examplespecs.GreenhouseConfig()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	f, err := core.New(core.Config{
-		System:     core.Artemis,
-		Graph:      graph,
-		StoreKeys:  []string{"lastReading", "readingSum", "sampleCount", "moisture", "irrigations"},
-		SpecSource: spec,
-		Supply: core.SupplyConfig{
-			Kind:         core.SupplyHarvested,
-			CapacitanceF: 470e-6, VMax: 5.0, VOn: 3.0, VOff: 1.8,
-			HarvestW: 8e-6, // 8 µW of harvested solar power
-		},
-		Rounds:     12, // a day of sampling rounds
-		MaxReboots: 5000,
-	})
+	f, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

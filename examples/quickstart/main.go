@@ -13,62 +13,25 @@ import (
 	"log"
 
 	"github.com/tinysystems/artemis-go/internal/core"
-	"github.com/tinysystems/artemis-go/internal/simclock"
-	"github.com/tinysystems/artemis-go/internal/task"
+	"github.com/tinysystems/artemis-go/internal/examplespecs"
 )
 
 func main() {
-	// 1. Decompose the application into atomic tasks with a path. Task
-	//    outputs go to the persistent store and are committed atomically at
-	//    task boundaries — a power failure mid-task rolls them back.
-	sample := &task.Task{
-		Name:        "sample",
-		Cycles:      5_000,
-		Peripherals: []string{"adc"},
-		Run: func(c *task.Ctx) error {
-			c.Set("reading", 21.5)
-			c.Add("samples", 1)
-			return nil
-		},
-	}
-	report := &task.Task{
-		Name:        "report",
-		Cycles:      2_000,
-		Peripherals: []string{"ble"},
-		Run: func(c *task.Ctx) error {
-			c.Add("reports", 1)
-			return nil
-		},
-	}
-	graph, err := task.NewGraph(&task.Path{ID: 1, Tasks: []*task.Task{sample, report}})
+	// 1. Decompose the application into atomic tasks with a path
+	//    (examplespecs.QuickstartGraph). Task outputs go to the persistent
+	//    store and are committed atomically at task boundaries — a power
+	//    failure mid-task rolls them back.
+	// 2. State the properties declaratively, separate from the code
+	//    (examplespecs.QuickstartSpec).
+	// 3. Assemble the deployment: ARTEMIS compiles the specification into
+	//    monitor state machines and wires them to the intermittent runtime.
+	//    The shared definitions in internal/examplespecs are also what the
+	//    engine-equivalence harness runs through both monitor engines.
+	cfg, err := examplespecs.QuickstartConfig()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 2. State the properties declaratively, separate from the code above.
-	const spec = `
-sample {
-    maxTries: 5 onFail: skipPath;
-}
-report {
-    maxDuration: 200ms onFail: skipTask;
-}
-`
-
-	// 3. Assemble the deployment: ARTEMIS compiles the specification into
-	//    monitor state machines and wires them to the intermittent runtime.
-	f, err := core.New(core.Config{
-		System:     core.Artemis,
-		Graph:      graph,
-		StoreKeys:  []string{"reading", "samples", "reports"},
-		SpecSource: spec,
-		Supply: core.SupplyConfig{
-			Kind:     core.SupplyFixedDelay,
-			BudgetUJ: 700,
-			Delay:    30 * simclock.Second,
-		},
-		Rounds: 3,
-	})
+	f, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

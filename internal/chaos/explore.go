@@ -310,6 +310,10 @@ func (e *Explorer) Run() (*ExploreReport, error) {
 		out.WindowLo, out.WindowHi = lo, hi
 	}
 
+	// The reference run is fully captured; recycle its NVM image so the
+	// sweep's first point reuses it instead of allocating a fresh one.
+	f.Release()
+
 	schedule, pruned := e.schedule(lo, hi, hashes)
 	out.Pruned = pruned
 
@@ -413,6 +417,7 @@ func (e *Explorer) explorePoint(k int, ref Outcome) (PointResult, error) {
 		// A run-level error after an injected crash is an atomicity
 		// violation surfaced as an application error, not a harness bug.
 		pr.Failures = append(pr.Failures, OracleFailure{OracleAtomicity, err.Error()})
+		f.Release()
 		return pr, nil
 	}
 	got := capture(f, rep, e.Keys)
@@ -421,6 +426,10 @@ func (e *Explorer) explorePoint(k int, ref Outcome) (PointResult, error) {
 	if e.PostCheck != nil {
 		pr.Failures = append(pr.Failures, e.PostCheck(f, ref, got)...)
 	}
+	// Everything oracle-relevant is copied out of the framework; hand the
+	// NVM image back to the pool for the next point. This is what keeps an
+	// exhaustive sweep from allocating one full FRAM image per crash point.
+	f.Release()
 	return pr, nil
 }
 

@@ -1,55 +1,13 @@
 package codegen
 
 import (
-	"bytes"
 	"go/parser"
 	"go/token"
 	"strings"
 	"testing"
 
-	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/ir"
 )
-
-func healthProgram(t *testing.T) *ir.Program {
-	t.Helper()
-	res, err := health.New().Compile()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return res.Program
-}
-
-func TestGenerateParsesAsGo(t *testing.T) {
-	src, err := Generate(healthProgram(t), "monitors")
-	if err != nil {
-		t.Fatal(err)
-	}
-	fset := token.NewFileSet()
-	if _, err := parser.ParseFile(fset, "monitors.go", src, 0); err != nil {
-		t.Fatalf("generated code does not parse: %v\n%s", err, src)
-	}
-	if !bytes.Contains(src, []byte("package monitors")) {
-		t.Fatal("wrong package clause")
-	}
-	if !bytes.Contains(src, []byte("DO NOT EDIT")) {
-		t.Fatal("missing generated-code marker")
-	}
-}
-
-func TestGenerateDeterministic(t *testing.T) {
-	a, err := Generate(healthProgram(t), "m")
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Generate(healthProgram(t), "m")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a, b) {
-		t.Fatal("generation is not deterministic")
-	}
-}
 
 func TestGenerateRejectsInvalidProgram(t *testing.T) {
 	bad := &ir.Program{Machines: []*ir.Machine{{Name: "m"}}} // no states
@@ -99,18 +57,6 @@ func TestTypeName(t *testing.T) {
 	for in, want := range cases {
 		if got := typeName(in); got != want {
 			t.Errorf("typeName(%q) = %q, want %q", in, got, want)
-		}
-	}
-}
-
-func TestMachineNamesSorted(t *testing.T) {
-	names := MachineNames(healthProgram(t))
-	if len(names) != 8 {
-		t.Fatalf("names = %v", names)
-	}
-	for i := 1; i < len(names); i++ {
-		if names[i] < names[i-1] {
-			t.Fatalf("not sorted: %v", names)
 		}
 	}
 }

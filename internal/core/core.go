@@ -144,6 +144,15 @@ type Config struct {
 	// harnesses use it to reconstruct timelines.
 	OnDecision func(ev monitor.Event, d monitor.Decision)
 
+	// InterpretMonitors forces the ARTEMIS monitors through the IR
+	// interpreter. By default the framework installs the closure-compiled
+	// execution engine (codegen.CompileProgram) on every machine it covers —
+	// semantically identical, held so by the differential equivalence tests,
+	// but several times faster and allocation-free in steady state. Machines
+	// the closure compiler cannot handle, and monitor sets installed by an
+	// OTA spec swap, always use the interpreter regardless of this setting.
+	InterpretMonitors bool
+
 	// RemoteMonitors deploys the ARTEMIS monitors on an external wireless
 	// device (§7 "Implementation Alternatives"): the host pays per-event
 	// radio costs instead of on-device evaluation costs.
@@ -302,7 +311,7 @@ func New(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	mem := nvm.New(cfg.MemBytes)
+	mem := nvm.NewPooled(cfg.MemBytes)
 	var extras []task.Persistent
 	if cfg.BuildApp != nil {
 		g, ex, err := cfg.BuildApp(mem)
@@ -405,6 +414,9 @@ func New(cfg Config) (*Framework, error) {
 			return nil, err
 		}
 		mons.SetTracer(tel)
+		if !cfg.InterpretMonitors {
+			mons.UseCompiled(res.Stepper())
+		}
 		var deployed monitor.Interface = mons
 		switch {
 		case cfg.RemoteMonitors && cfg.ContinuationMonitors:
@@ -588,6 +600,13 @@ func buildSupply(sc SupplyConfig) (energy.Supply, error) {
 		return nil, fmt.Errorf("core: unknown supply kind %d", int(sc.Kind))
 	}
 }
+
+// Release returns the framework's NVM image to the allocation pool. Call it
+// when the framework — and everything read from it (store values, reports,
+// monitor inspection) — is done; the memory may be handed to the next
+// deployment immediately. Sweeps and benchmarks that build thousands of
+// frameworks use it to stop re-allocating (and re-zeroing) 256 KiB images.
+func (f *Framework) Release() { f.mcu.Mem.Release() }
 
 // Store returns the application's persistent store, for output inspection.
 func (f *Framework) Store() *task.Store { return f.store }

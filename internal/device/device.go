@@ -74,8 +74,12 @@ type MCU struct {
 	Supply energy.Supply
 	Prof   Profile
 
-	comp      Component
-	breakdown map[Component]Usage
+	comp Component
+	// use caches breakdown[comp] so account() — called for every Exec,
+	// Idle, and peripheral op — mutates through a pointer instead of a
+	// map read-modify-write on a string key.
+	use       *Usage
+	breakdown map[Component]*Usage
 	lastStats nvm.Stats
 
 	// failAfter, when positive, forces a power failure after that much more
@@ -93,15 +97,27 @@ func NewMCU(clock *simclock.Clock, mem *nvm.Memory, supply energy.Supply, prof P
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
-	return &MCU{
+	m := &MCU{
 		Clock:     clock,
 		Mem:       mem,
 		Supply:    supply,
 		Prof:      prof,
 		comp:      CompApp,
-		breakdown: make(map[Component]Usage),
+		breakdown: make(map[Component]*Usage),
 		lastStats: mem.Stats(),
-	}, nil
+	}
+	m.use = m.usage(CompApp)
+	return m, nil
+}
+
+// usage returns the (created-on-demand) accumulator for a component.
+func (m *MCU) usage(c Component) *Usage {
+	u := m.breakdown[c]
+	if u == nil {
+		u = &Usage{}
+		m.breakdown[c] = u
+	}
+	return u
 }
 
 // SetComponent switches cost attribution and returns the previous component,
@@ -112,8 +128,9 @@ func (m *MCU) SetComponent(c Component) Component {
 	prev := m.comp
 	if c != prev {
 		m.account(0, 0)
+		m.comp = c
+		m.use = m.usage(c)
 	}
-	m.comp = c
 	return prev
 }
 
@@ -121,7 +138,12 @@ func (m *MCU) SetComponent(c Component) Component {
 func (m *MCU) Component() Component { return m.comp }
 
 // UsageOf returns the accumulated cost of one component.
-func (m *MCU) UsageOf(c Component) Usage { return m.breakdown[c] }
+func (m *MCU) UsageOf(c Component) Usage {
+	if u := m.breakdown[c]; u != nil {
+		return *u
+	}
+	return Usage{}
+}
 
 // TotalUsage sums cost across all components.
 func (m *MCU) TotalUsage() Usage {
@@ -193,10 +215,8 @@ func (m *MCU) spend(d simclock.Duration, e energy.Joules) {
 func (m *MCU) account(d simclock.Duration, e energy.Joules) {
 	e += m.framDelta()
 	m.Clock.Advance(d)
-	u := m.breakdown[m.comp]
-	u.Time += d
-	u.Energy += e
-	m.breakdown[m.comp] = u
+	m.use.Time += d
+	m.use.Energy += e
 	if !m.Supply.Drain(m.Clock.Now(), e) {
 		panic(PowerFailure{At: m.Clock.Now()})
 	}

@@ -94,7 +94,13 @@ func evalUnary(e Unary, sc Scope) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch e.Op {
+	return ApplyUnary(e.Op, x)
+}
+
+// ApplyUnary evaluates a unary operator on a value; like Apply it is shared
+// by the interpreter and the codegen closure compiler.
+func ApplyUnary(op string, x Value) (Value, error) {
+	switch op {
 	case "!":
 		b, err := x.Truthy()
 		if err != nil {
@@ -110,7 +116,7 @@ func evalUnary(e Unary, sc Scope) (Value, error) {
 		}
 		return Value{}, fmt.Errorf("ir: cannot negate %v", x.T)
 	}
-	return Value{}, fmt.Errorf("ir: unknown unary operator %q", e.Op)
+	return Value{}, fmt.Errorf("ir: unknown unary operator %q", op)
 }
 
 func evalBinary(e Binary, sc Scope) (Value, error) {
@@ -149,7 +155,15 @@ func evalBinary(e Binary, sc Scope) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch e.Op {
+	return Apply(e.Op, l, r)
+}
+
+// Apply evaluates a non-logical binary operator on two values. It is the
+// single implementation of the operator semantics: the interpreter routes
+// every Binary node through it, and the codegen closure compiler captures it
+// per node — so the two execution engines cannot drift apart.
+func Apply(op string, l, r Value) (Value, error) {
+	switch op {
 	case "==":
 		eq, err := l.Equal(r)
 		return Bool(eq), err
@@ -157,11 +171,11 @@ func evalBinary(e Binary, sc Scope) (Value, error) {
 		eq, err := l.Equal(r)
 		return Bool(!eq), err
 	case "<", "<=", ">", ">=":
-		return compare(e.Op, l, r)
+		return compare(op, l, r)
 	case "+", "-", "*", "/", "%":
-		return arith(e.Op, l, r)
+		return arith(op, l, r)
 	}
-	return Value{}, fmt.Errorf("ir: unknown operator %q", e.Op)
+	return Value{}, fmt.Errorf("ir: unknown operator %q", op)
 }
 
 func compare(op string, l, r Value) (Value, error) {

@@ -145,7 +145,7 @@ func execStmts(m *Machine, stmts []Stmt, scope stepScope, env Env, failures *[]F
 			if decl == nil {
 				return fmt.Errorf("assignment to undeclared %q", s.Name)
 			}
-			v, err = coerce(v, decl.Type)
+			v, err = Coerce(v, decl.Type)
 			if err != nil {
 				return fmt.Errorf("assigning %q: %w", s.Name, err)
 			}
@@ -177,9 +177,10 @@ func execStmts(m *Machine, stmts []Stmt, scope stepScope, env Env, failures *[]F
 	return nil
 }
 
-// coerce converts a value to the declared variable type, allowing the
-// int↔float widenings the expression language produces.
-func coerce(v Value, t Type) (Value, error) {
+// Coerce converts a value to the declared variable type, allowing the
+// int↔float widenings the expression language produces. Shared by the
+// interpreter's Assign execution and the codegen closure compiler.
+func Coerce(v Value, t Type) (Value, error) {
 	if v.T == t {
 		return v, nil
 	}

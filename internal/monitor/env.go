@@ -154,3 +154,21 @@ func (e *persistentEnv) reset(full bool) {
 
 // rollback discards staged writes after a power failure.
 func (e *persistentEnv) rollback() { e.c.Reopen() }
+
+// codegen.Slots implementation. Compiled machines step directly over the
+// committed region with pre-resolved word indices — no name lookups, no
+// Value round-trips — while writing the exact bytes SetVar/SetState would:
+// both paths stage into the same region and only Commit persists, so the
+// NVM image is bit-identical whichever engine stepped the machine.
+
+// StateIdx implements codegen.Slots.
+func (e *persistentEnv) StateIdx() int { return int(int64(e.word(wordState))) }
+
+// SetStateIdx implements codegen.Slots.
+func (e *persistentEnv) SetStateIdx(i int) { e.setWord(wordState, uint64(int64(i))) }
+
+// VarWord implements codegen.Slots; i is the declaration-order variable index.
+func (e *persistentEnv) VarWord(i int) uint64 { return e.word(wordVars + i) }
+
+// SetVarWord implements codegen.Slots.
+func (e *persistentEnv) SetVarWord(i int, w uint64) { e.setWord(wordVars+i, w) }

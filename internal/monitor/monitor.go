@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/codegen"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/nvm"
 	"github.com/tinysystems/artemis-go/internal/spec"
@@ -31,6 +32,12 @@ type Monitor struct {
 	env     *persistentEnv
 	binding transform.Binding
 	tel     *telemetry.Tracer
+	// compiled, when non-nil, steps the machine through the closure-compiled
+	// engine instead of the IR interpreter; frame is its reusable scratch.
+	// Both engines stage identical bytes into the committed region, so the
+	// choice is invisible to everything downstream (see UseCompiled).
+	compiled *codegen.Machine
+	frame    *codegen.Frame
 }
 
 // Machine returns the monitor's state machine definition.
@@ -55,7 +62,13 @@ func (m *Monitor) Deliver(ev Event) ([]ir.Failure, error) {
 	if m.tel != nil {
 		before = m.env.State()
 	}
-	fs, err := ir.Step(m.machine, m.env, ev.Event)
+	var fs []ir.Failure
+	var err error
+	if m.compiled != nil {
+		fs, err = m.compiled.Step(m.frame, m.env, ev.Event)
+	} else {
+		fs, err = ir.Step(m.machine, m.env, ev.Event)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +147,33 @@ func NewSet(mem *nvm.Memory, res *transform.Result) (*Set, error) {
 
 // Monitors returns the set's monitors.
 func (s *Set) Monitors() []*Monitor { return s.monitors }
+
+// UseCompiled installs closure-compiled machines (codegen.CompileProgram of
+// the same transform result, index-parallel with NewSet's machines) as the
+// set's execution engine. Monitors whose slot is nil or whose name does not
+// match keep the interpreter — installation is per-machine and safe to skip.
+// The verdicts, FSM trajectory, and staged NVM bytes are identical either
+// way; only dispatch cost changes.
+func (s *Set) UseCompiled(p *codegen.Program) {
+	for i, m := range s.monitors {
+		cm := p.Machine(i)
+		if cm == nil || cm.Name() != m.machine.Name {
+			continue
+		}
+		m.compiled = cm
+		m.frame = codegen.NewFrame()
+	}
+}
+
+// Engine reports which execution engine steps this monitor: "compiled" or
+// "interpreter". Diagnostic; used by the differential harness to prove OTA
+// fallback.
+func (m *Monitor) Engine() string {
+	if m.compiled != nil {
+		return "compiled"
+	}
+	return "interpreter"
+}
 
 // SetTracer attaches a telemetry tracer to every monitor in the set, which
 // then emits MonitorTransition and PropertyFail events from Deliver. All

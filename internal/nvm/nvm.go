@@ -21,11 +21,13 @@
 package nvm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"reflect"
 	"sort"
+	"sync"
 )
 
 // Stats counts FRAM traffic; the device model converts these to energy.
@@ -43,7 +45,16 @@ type Memory struct {
 	next  int
 	allot []Allocation
 	stats Stats
-	wear  map[string]int64 // owner -> bytes written (endurance accounting)
+
+	// Wear (endurance) accounting is kept per allocation *index*, not in an
+	// owner-keyed map: the write path is the simulation's innermost loop and
+	// a map assignment with string hashing per store dominated it. Because
+	// every boot re-runs the same allocation sequence (the Reboot contract),
+	// index i names the same region on every boot; ownersAt records its
+	// owner when first allocated and survives Reboot, so wear accumulates
+	// across power cycles exactly as the map did.
+	ownersAt  []string
+	allotWear []int64
 
 	// hash is the incremental fingerprint of data, maintained on every
 	// byte stored (write path and FlipBit). It is an XOR of per-position
@@ -78,6 +89,16 @@ type Memory struct {
 	// through: copying p here keeps callers' stack-built buffers from
 	// escaping to the heap just because an observer *could* be installed.
 	accessBuf []byte
+
+	// dirty is the high-water mark of bytes ever stored (write path and
+	// FlipBit): data[dirty:] is still all zero. Pool reuse zeroes only
+	// data[:dirty] instead of the whole image — the difference between
+	// recycling a 256 KiB FRAM and memclr-ing it per run.
+	dirty int
+	// pooled marks memories born from NewPooled; released guards against
+	// double-Release putting one Memory into the pool twice.
+	pooled   bool
+	released bool
 }
 
 // AccessOp classifies one raw FRAM access for access observers.
@@ -102,7 +123,63 @@ func New(size int) *Memory {
 	if size <= 0 {
 		panic(fmt.Sprintf("nvm: non-positive memory size %d", size))
 	}
-	return &Memory{data: make([]byte, size), wear: map[string]int64{}}
+	return &Memory{data: make([]byte, size)}
+}
+
+// memPool recycles released Memory images across deployments. One pool
+// serves all sizes; NewPooled discards a recycled image whose size does not
+// match (the common case is every deployment using the default 256 KiB).
+var memPool sync.Pool
+
+// NewPooled returns a zeroed FRAM like New, recycling a previously Released
+// image when one of the right size is available. Reset happens on get: the
+// dirty prefix is zeroed and all accounting, hooks, and observers are
+// cleared, so a recycled Memory is indistinguishable from a fresh one.
+// Callers that never Release still get correct (just unrecycled) behaviour.
+func NewPooled(size int) *Memory {
+	if v := memPool.Get(); v != nil {
+		m := v.(*Memory)
+		if len(m.data) == size {
+			m.reset()
+			return m
+		}
+		// Wrong size: drop it and allocate fresh. Not re-Put — mixed-size
+		// workloads would otherwise spin on the same mismatched image.
+	}
+	m := New(size)
+	m.pooled = true
+	return m
+}
+
+// Release returns a pooled Memory to the recycle pool. The caller must be
+// completely done with it: every Region, Committed, and derived structure
+// over this Memory is invalid after Release, and the image may be handed to
+// another deployment immediately. Releasing a Memory from New (not
+// NewPooled), or releasing twice, is a safe no-op.
+func (m *Memory) Release() {
+	if !m.pooled || m.released {
+		return
+	}
+	m.released = true
+	memPool.Put(m)
+}
+
+// reset returns a recycled Memory to the fresh-from-New state: zeroed image
+// (only the dirty prefix needs touching), zero accounting, no hooks.
+func (m *Memory) reset() {
+	clear(m.data[:m.dirty])
+	m.dirty = 0
+	m.next = 0
+	m.allot = m.allot[:0]
+	m.stats = Stats{}
+	m.ownersAt = m.ownersAt[:0]
+	m.allotWear = m.allotWear[:0]
+	m.hash = 0
+	m.crashAfter, m.crashHook = 0, nil
+	m.writeCrashAfter, m.writeCrashHook = 0, nil
+	m.observer = nil
+	m.access = nil
+	m.released = false
 }
 
 // Size returns the total FRAM capacity in bytes.
@@ -168,7 +245,7 @@ func (m *Memory) SetAccessObserver(fn func(op AccessOp, off int, p []byte)) { m.
 // straight-line initialisation guarantees.
 func (m *Memory) Reboot() {
 	m.next = 0
-	m.allot = nil
+	m.allot = m.allot[:0] // keep capacity: every boot re-runs the same sequence
 	m.crashAfter = 0
 	m.crashHook = nil
 	m.writeCrashAfter = 0
@@ -185,9 +262,16 @@ func (m *Memory) Alloc(owner, name string, size int) (*Region, error) {
 			size, owner, name, m.next, len(m.data))
 	}
 	a := Allocation{Owner: owner, Name: name, Off: m.next, Size: size}
+	idx := len(m.allot)
+	if idx == len(m.ownersAt) {
+		// First boot to reach this allocation index: record its owner for
+		// cross-reboot wear attribution.
+		m.ownersAt = append(m.ownersAt, owner)
+		m.allotWear = append(m.allotWear, 0)
+	}
 	m.allot = append(m.allot, a)
 	m.next += size
-	return &Region{mem: m, off: a.Off, size: size, owner: owner, name: name}, nil
+	return &Region{mem: m, off: a.Off, size: size, owner: owner, name: name, idx: idx}, nil
 }
 
 // MustAlloc is Alloc that panics on failure; for static layouts established
@@ -241,14 +325,96 @@ func (m *Memory) read(off, n int) []byte {
 	return m.data[off : off+n]
 }
 
-func (m *Memory) write(off int, p []byte) {
+// write stores p at off. idx is the allocation index the write lands in
+// (every write arrives through a Region, which knows its own), or -1 for
+// unattributed traffic; it exists so wear accounting is a slice add instead
+// of an offset search in the simulation's innermost loop.
+func (m *Memory) write(idx, off int, p []byte) {
 	m.stats.Writes++
 	if m.access != nil {
 		m.reportWrite(off, p)
 	}
-	if owner := m.ownerAt(off); owner != "" {
-		m.wear[owner] += int64(len(p))
+	if idx >= 0 && idx < len(m.allotWear) {
+		m.allotWear[idx] += int64(len(p))
 	}
+	if end := off + len(p); end > m.dirty {
+		m.dirty = end
+	}
+	if m.crashAfter > 0 {
+		m.writeTearable(off, p)
+	} else {
+		// Fast path: no armed byte-granularity crash, so no store can tear.
+		// Byte-for-byte equivalent to writeTearable — same data, hash, and
+		// final BytesWritten — but scans for differences a word at a time.
+		// Commit traffic (the bulk of all writes) re-stores mostly-unchanged
+		// images, so nearly all of the work is the SIMD equality check.
+		data := m.data[off : off+len(p)]
+		switch len(p) {
+		case 1:
+			// Selector flips and status bytes: skip the bytes.Equal call.
+			if old, b := data[0], p[0]; old != b {
+				m.hash ^= mixByte(off, old) ^ mixByte(off, b)
+				data[0] = b
+			}
+		case 8:
+			// Word-sized stores (Vars, seq counters): one comparison.
+			if binary.LittleEndian.Uint64(data) != binary.LittleEndian.Uint64(p) {
+				for j := 0; j < 8; j++ {
+					if old, b := data[j], p[j]; old != b {
+						m.hash ^= mixByte(off+j, old) ^ mixByte(off+j, b)
+						data[j] = b
+					}
+				}
+			}
+		default:
+			m.writeDiff(off, data, p)
+		}
+		m.stats.BytesWritten += int64(len(p))
+	}
+	if m.writeCrashAfter > 0 {
+		m.writeCrashAfter--
+		if m.writeCrashAfter == 0 && m.writeCrashHook != nil {
+			hook := m.writeCrashHook
+			m.writeCrashHook = nil
+			hook()
+		}
+	}
+	if m.observer != nil {
+		m.observer()
+	}
+}
+
+// writeDiff applies the general word-at-a-time difference scan of the
+// untearable fast path.
+func (m *Memory) writeDiff(off int, data, p []byte) {
+	if bytes.Equal(data, p) {
+		return
+	}
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		if binary.LittleEndian.Uint64(data[i:]) == binary.LittleEndian.Uint64(p[i:]) {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if old := data[j]; old != p[j] {
+				m.hash ^= mixByte(off+j, old) ^ mixByte(off+j, p[j])
+				data[j] = p[j]
+			}
+		}
+	}
+	for ; i < len(p); i++ {
+		if old := data[i]; old != p[i] {
+			m.hash ^= mixByte(off+i, old) ^ mixByte(off+i, p[i])
+			data[i] = p[i]
+		}
+	}
+}
+
+// writeTearable is the byte-at-a-time store loop, kept only for runs with an
+// armed byte-granularity crash hook: the countdown must be checked after
+// every byte so the hook can tear a multi-byte write at any position, with
+// BytesWritten counting exactly the bytes attempted before the crash.
+func (m *Memory) writeTearable(off int, p []byte) {
 	for i, b := range p {
 		if old := m.data[off+i]; old != b {
 			m.hash ^= mixByte(off+i, old) ^ mixByte(off+i, b)
@@ -263,17 +429,6 @@ func (m *Memory) write(off int, p []byte) {
 				hook()
 			}
 		}
-	}
-	if m.writeCrashAfter > 0 {
-		m.writeCrashAfter--
-		if m.writeCrashAfter == 0 && m.writeCrashHook != nil {
-			hook := m.writeCrashHook
-			m.writeCrashHook = nil
-			hook()
-		}
-	}
-	if m.observer != nil {
-		m.observer()
 	}
 }
 
@@ -291,26 +446,6 @@ func (m *Memory) reportWrite(off int, p []byte) {
 	m.access(OpWrite, off, buf)
 }
 
-// ownerAt resolves the owner of the allocation containing off, or "".
-// Allocations are contiguous and sorted by offset (bump allocator), so a
-// binary search suffices.
-func (m *Memory) ownerAt(off int) string {
-	lo, hi := 0, len(m.allot)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		a := m.allot[mid]
-		switch {
-		case off < a.Off:
-			hi = mid - 1
-		case off >= a.Off+a.Size:
-			lo = mid + 1
-		default:
-			return a.Owner
-		}
-	}
-	return ""
-}
-
 // FlipBit inverts one bit of the FRAM, modelling a radiation- or
 // disturbance-induced soft error. The flip bypasses the write path: it is
 // a fault, not a store, so it is invisible to the stats, wear accounting,
@@ -326,6 +461,9 @@ func (m *Memory) FlipBit(off int, bit uint) {
 	flipped := old ^ (1 << bit)
 	m.hash ^= mixByte(off, old) ^ mixByte(off, flipped)
 	m.data[off] = flipped
+	if off+1 > m.dirty {
+		m.dirty = off + 1
+	}
 }
 
 // Hash returns a fingerprint of the entire persistent image. Because
@@ -374,7 +512,15 @@ func (m *Memory) recomputeHash() uint64 {
 // footprint, wear accumulates with runtime activity, so components that
 // commit on every event (monitors) wear far faster than their static size
 // suggests.
-func (m *Memory) WearOf(owner string) int64 { return m.wear[owner] }
+func (m *Memory) WearOf(owner string) int64 {
+	var total int64
+	for i, o := range m.ownersAt {
+		if o == owner {
+			total += m.allotWear[i]
+		}
+	}
+	return total
+}
 
 // Region is a named slice of FRAM.
 type Region struct {
@@ -383,6 +529,11 @@ type Region struct {
 	size  int
 	owner string
 	name  string
+	// idx is this region's allocation index, passed to write() so wear
+	// attribution never has to search for the containing allocation. The
+	// Reboot contract (deterministic allocation sequence) keeps index i
+	// meaning the same region across boots.
+	idx int
 }
 
 // Size returns the region length in bytes.
@@ -410,7 +561,7 @@ func (r *Region) Read(off int, p []byte) {
 // Write persists p at region offset off.
 func (r *Region) Write(off int, p []byte) {
 	r.check(off, len(p))
-	r.mem.write(r.off+off, p)
+	r.mem.write(r.idx, r.off+off, p)
 }
 
 // Put16 persists a little-endian uint16 at region offset off. Like every
@@ -420,7 +571,7 @@ func (r *Region) Put16(off int, v uint16) {
 	r.check(off, 2)
 	var buf [2]byte
 	binary.LittleEndian.PutUint16(buf[:], v)
-	r.mem.write(r.off+off, buf[:])
+	r.mem.write(r.idx, r.off+off, buf[:])
 }
 
 // Get16 reads a little-endian uint16 at region offset off.
@@ -435,7 +586,7 @@ func (r *Region) Put32(off int, v uint32) {
 	r.check(off, 4)
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
-	r.mem.write(r.off+off, buf[:])
+	r.mem.write(r.idx, r.off+off, buf[:])
 }
 
 // Get32 reads a little-endian uint32 at region offset off.
@@ -462,7 +613,7 @@ func (r *Region) WriteUint64(off int, v uint64) {
 	r.check(off, 8)
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
-	r.mem.write(r.off+off, buf[:])
+	r.mem.write(r.idx, r.off+off, buf[:])
 }
 
 // ByteAt reads one byte.
@@ -475,7 +626,9 @@ func (r *Region) ByteAt(off int) byte {
 // of the FRAM model; Committed uses one as its commit point.
 func (r *Region) SetByteAt(off int, b byte) {
 	r.check(off, 1)
-	r.mem.write(r.off+off, []byte{b})
+	var buf [1]byte
+	buf[0] = b
+	r.mem.write(r.idx, r.off+off, buf[:])
 }
 
 // Word is the set of fixed-width scalar types storable in a Var.
@@ -758,18 +911,22 @@ func (c *Committed) Write(off int, p []byte) {
 	copy(c.stage[off:], p)
 }
 
-// ReadUint64 reads a staged little-endian uint64.
+// ReadUint64 reads a staged little-endian uint64. It goes straight to the
+// stage (volatile SRAM, uncharged) rather than through Read's copy loop:
+// the monitor engine reads every variable word through here on each step.
 func (c *Committed) ReadUint64(off int) uint64 {
-	var buf [8]byte
-	c.Read(off, buf[:])
-	return binary.LittleEndian.Uint64(buf[:])
+	if off < 0 || off+8 > c.size {
+		panic(fmt.Sprintf("nvm: committed read [%d,%d) out of size %d", off, off+8, c.size))
+	}
+	return binary.LittleEndian.Uint64(c.stage[off:])
 }
 
 // WriteUint64 stages a little-endian uint64.
 func (c *Committed) WriteUint64(off int, v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	c.Write(off, buf[:])
+	if off < 0 || off+8 > c.size {
+		panic(fmt.Sprintf("nvm: committed write [%d,%d) out of size %d", off, off+8, c.size))
+	}
+	binary.LittleEndian.PutUint64(c.stage[off:], v)
 }
 
 // Commit atomically persists the staged image: the shadow buffer receives

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/tinysystems/artemis-go/internal/health"
+	"github.com/tinysystems/artemis-go/internal/transform"
 )
 
 func compiledPair(t *testing.T) (*Bundle, []byte) {
@@ -106,9 +107,11 @@ func TestBundleHeaderMagicChecked(t *testing.T) {
 
 func TestEncodeRejectsMismatchedBindings(t *testing.T) {
 	b, _ := compiledPair(t)
-	short := *b.Result
-	short.Bindings = short.Bindings[:len(short.Bindings)-1]
-	if _, err := Encode(&Bundle{Version: 2, Result: &short}); err == nil {
+	short := &transform.Result{
+		Program:  b.Result.Program,
+		Bindings: b.Result.Bindings[:len(b.Result.Bindings)-1],
+	}
+	if _, err := Encode(&Bundle{Version: 2, Result: short}); err == nil {
 		t.Fatal("machine/binding count mismatch accepted")
 	}
 }

@@ -16,8 +16,10 @@ package transform
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/tinysystems/artemis-go/internal/action"
+	"github.com/tinysystems/artemis-go/internal/codegen"
 	"github.com/tinysystems/artemis-go/internal/ir"
 	"github.com/tinysystems/artemis-go/internal/spec"
 	"github.com/tinysystems/artemis-go/internal/task"
@@ -50,6 +52,22 @@ type Binding struct {
 type Result struct {
 	Program  *ir.Program
 	Bindings []Binding
+
+	stepper atomic.Pointer[codegen.Program]
+}
+
+// Stepper returns the closure-compiled form of the result's program,
+// compiling it on first use. The compiled program is immutable and cached on
+// the Result, so shared results (health.CompiledShared and friends) compile
+// once per process however many frameworks they feed. Concurrent first calls
+// may compile twice; both products are equivalent and either may win.
+func (r *Result) Stepper() *codegen.Program {
+	if p := r.stepper.Load(); p != nil {
+		return p
+	}
+	p := codegen.CompileProgram(r.Program)
+	r.stepper.Store(p)
+	return p
 }
 
 // graphInfo adapts a task.Graph (plus the data-variable list) to
