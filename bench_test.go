@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/codegen/gen"
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/experiments"
+	"github.com/tinysystems/artemis-go/internal/fleet"
 	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/ir"
@@ -416,6 +418,50 @@ func BenchmarkSpecSwap(b *testing.B) {
 		if st := f.OTA().Stats(); st.Swaps != 1 {
 			b.Fatalf("swap did not happen: %+v", st)
 		}
+	}
+}
+
+// fleetWorkerLadder is the worker ladder for BenchmarkFleetSteps: 1, 2, 4,
+// 8 regardless of host CPU count, so baselines from different machines name
+// the same sub-benchmarks. Entries above GOMAXPROCS measure time-slicing,
+// not parallel speedup (benchjson's speedup table says so explicitly).
+func fleetWorkerLadder() []int { return []int{1, 2, 4, 8} }
+
+// BenchmarkFleetSteps measures the sharded fleet stepping engine: 16
+// heterogeneous devices (the example deployments mixed) over 8 shards, one
+// full fleet step per op. The custom device-steps/sec metric is the
+// throughput headline; the digest is checked against the serial run so the
+// benchmark also re-proves scheduling-independence on every run.
+func BenchmarkFleetSteps(b *testing.B) {
+	const devices, shards = 16, 8
+	ref, err := fleet.New(fleet.Config{Devices: devices, Shards: shards, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	refStep, err := ref.Step(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range fleetWorkerLadder() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, err := fleet.New(fleet.Config{Devices: devices, Shards: shards, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last fleet.StepResult
+			for i := 0; i < b.N; i++ {
+				if last, err = eng.Step(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if eng.Steps() == 1 && last.Digest != refStep.Digest {
+				b.Fatalf("workers=%d digest %#x diverged from serial %#x", w, last.Digest, refStep.Digest)
+			}
+			b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "device-steps/sec")
+		})
 	}
 }
 

@@ -4,13 +4,13 @@
 // B/op, allocs/op per benchmark plus the workers=1 vs workers=N wall-clock
 // ratio for the parallel-executor benchmarks.
 //
-//	benchjson                          # full suite -> BENCH_5.json
+//	benchjson                          # full suite -> BENCH_6.json
 //	benchjson -bench 'NVM' -o nvm.json # a subset, elsewhere
 //	benchjson -benchtime 1x            # quick smoke (noisy numbers)
 //
 // It is also the regression gate between two committed baselines:
 //
-//	benchjson -compare BENCH_5.json new.json -max-regress 10%
+//	benchjson -compare BENCH_6.json new.json -max-regress 10%
 //
 // exits non-zero if any benchmark present in both files regressed by more
 // than the threshold in ns/op or allocs/op.
@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -59,13 +60,17 @@ type Env struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. Extra holds custom metrics a
+// benchmark published via b.ReportMetric (e.g. BenchmarkFleetSteps'
+// device-steps/sec), keyed by unit; they are recorded in the baseline but
+// never gated — only ns/op and allocs/op fail a -compare.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup compares a workers=N sub-benchmark against its workers=1
@@ -83,10 +88,10 @@ type Speedup struct {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		bench      = fs.String("bench", "ExhaustiveSweep|FlipCampaign|NVMWrite|NVMHash|SingleRun|OcelotRun|PersistentMonitor|Telemetry|SpecSwap", "benchmark filter passed to go test -bench")
+		bench      = fs.String("bench", "ExhaustiveSweep|FlipCampaign|FleetSteps|NVMWrite|NVMHash|SingleRun|OcelotRun|PersistentMonitor|Telemetry|SpecSwap", "benchmark filter passed to go test -bench")
 		benchtime  = fs.String("benchtime", "", "passed to go test -benchtime; empty = the go test default")
 		pkg        = fs.String("pkg", ".", "package to benchmark")
-		out        = fs.String("o", "BENCH_5.json", "output path; - = stdout")
+		out        = fs.String("o", "BENCH_6.json", "output path; - = stdout")
 		compareIt  = fs.Bool("compare", false, "compare two baseline files (old new) instead of running benchmarks")
 		maxRegress = fs.String("max-regress", "10%", "with -compare: tolerated ns/op and allocs/op growth before failing")
 	)
@@ -193,7 +198,9 @@ func compareFiles(oldPath, newPath string, tol float64, w io.Writer) error {
 
 // compare prints a per-benchmark delta table and returns the list of
 // regressions beyond tol. Benchmarks present in only one file are reported
-// but never fail the gate — suites grow and shrink across PRs.
+// but never fail the gate — suites grow and shrink across PRs. The table
+// ends with the geometric-mean ns/op speedup over the shared benchmarks,
+// the one-number summary of whether the change made the suite faster.
 func compare(oldRep, newRep *Report, tol float64, w io.Writer) []string {
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldRep.Benchmarks {
@@ -201,6 +208,8 @@ func compare(oldRep, newRep *Report, tol float64, w io.Writer) []string {
 	}
 	var regressions []string
 	seen := map[string]bool{}
+	var logSum float64
+	var shared int
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
@@ -213,6 +222,10 @@ func compare(oldRep, newRep *Report, tol float64, w io.Writer) []string {
 		fmt.Fprintf(w, "%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %8d -> %8d (%+6.1f%%)\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta*100,
 			ob.AllocsPerOp, nb.AllocsPerOp, allocDelta*100)
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			logSum += math.Log(ob.NsPerOp / nb.NsPerOp)
+			shared++
+		}
 		if nsDelta > tol {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta*100))
@@ -226,6 +239,10 @@ func compare(oldRep, newRep *Report, tol float64, w io.Writer) []string {
 		if !seen[ob.Name] {
 			fmt.Fprintf(w, "%-40s dropped from suite (was %.0f ns/op)\n", ob.Name, ob.NsPerOp)
 		}
+	}
+	if shared > 0 {
+		fmt.Fprintf(w, "geomean ns/op speedup: %.3fx over %d shared benchmark(s) (>1 = new is faster)\n",
+			math.Exp(logSum/float64(shared)), shared)
 	}
 	return regressions
 }
@@ -247,9 +264,18 @@ func ratioDelta(old, cur float64) float64 {
 //
 //	BenchmarkNVMWrite-4   13417772   88.78 ns/op   0 B/op   0 allocs/op
 //
-// The -4 GOMAXPROCS suffix is absent on single-proc runs.
+// The -4 GOMAXPROCS suffix is absent on single-proc runs. Custom metrics
+// published via b.ReportMetric land between ns/op and B/op:
+//
+//	BenchmarkFleetSteps/workers=1   742   1480000 ns/op   9752 device-steps/sec   173000 B/op   2884 allocs/op
+//
+// Group 4 captures that span for extraMetric to pick apart.
 var resultLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op((?:\s+\S+ \S+?)*?)\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// extraMetric splits one "value unit" custom-metric pair out of
+// resultLine's group 4.
+var extraMetric = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 
 // workersSub extracts the worker count from a sub-benchmark name like
 // BenchmarkExhaustiveSweep/workers=2.
@@ -279,14 +305,26 @@ func parse(out string) (*Report, error) {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		bytes, _ := strconv.ParseInt(m[4], 10, 64)
-		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		var extra map[string]float64
+		for _, em := range extraMetric.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			if extra == nil {
+				extra = map[string]float64{}
+			}
+			extra[em[2]] = v
+		}
+		bytes, _ := strconv.ParseInt(m[5], 10, 64)
+		allocs, _ := strconv.ParseInt(m[6], 10, 64)
 		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
 			Name:        strings.TrimPrefix(m[1], "Benchmark"),
 			Iterations:  iters,
 			NsPerOp:     ns,
 			BytesPerOp:  bytes,
 			AllocsPerOp: allocs,
+			Extra:       extra,
 		})
 	}
 	if err := sc.Err(); err != nil {

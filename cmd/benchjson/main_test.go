@@ -18,6 +18,7 @@ BenchmarkExhaustiveSweep/workers=2         	       2	 390432752 ns/op	604122216 
 BenchmarkFlipCampaign/workers=1-4          	     100	  14836512 ns/op	13539840 B/op	   34793 allocs/op
 BenchmarkFlipCampaign/workers=4-4          	     100	   4945504 ns/op	13541240 B/op	   34805 allocs/op
 BenchmarkNVMWrite                          	13417772	      88.78 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFleetSteps/workers=1              	     742	   1480211 ns/op	      9752 device-steps/sec	  173042 B/op	    2884 allocs/op
 PASS
 ok  	github.com/tinysystems/artemis-go	1.566s
 `
@@ -27,8 +28,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
 	}
 	if rep.Env.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Errorf("cpu = %q", rep.Env.CPU)
@@ -37,8 +38,21 @@ func TestParse(t *testing.T) {
 	if nvm.Name != "NVMWrite" || nvm.NsPerOp != 88.78 || nvm.AllocsPerOp != 0 {
 		t.Errorf("NVMWrite parsed as %+v", nvm)
 	}
+	if nvm.Extra != nil {
+		t.Errorf("NVMWrite has spurious extra metrics: %+v", nvm.Extra)
+	}
 	if flip := rep.Benchmarks[2]; flip.Name != "FlipCampaign/workers=1" {
 		t.Errorf("GOMAXPROCS suffix not stripped: %q", flip.Name)
+	}
+	// A b.ReportMetric custom metric sits between ns/op and B/op; the
+	// line must still parse and the metric must be recorded.
+	fleet := rep.Benchmarks[5]
+	if fleet.Name != "FleetSteps/workers=1" || fleet.NsPerOp != 1480211 ||
+		fleet.BytesPerOp != 173042 || fleet.AllocsPerOp != 2884 {
+		t.Errorf("FleetSteps parsed as %+v", fleet)
+	}
+	if got := fleet.Extra["device-steps/sec"]; got != 9752 {
+		t.Errorf("device-steps/sec = %v, want 9752", got)
 	}
 }
 
@@ -160,6 +174,31 @@ func TestComparePassesWithinThreshold(t *testing.T) {
 	faster := benchReport(Benchmark{Name: "SingleRunArtemis", NsPerOp: 20_000, AllocsPerOp: 50})
 	if regs := compare(old, faster, 0.10, &buf); len(regs) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareGeomeanSummary(t *testing.T) {
+	// 4x and 1x speedups: geomean = sqrt(4*1) = 2. The new-only benchmark
+	// must not contribute.
+	old := benchReport(
+		Benchmark{Name: "A", NsPerOp: 400, AllocsPerOp: 1},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1},
+	)
+	cur := benchReport(
+		Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 1},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1},
+		Benchmark{Name: "Fresh", NsPerOp: 5, AllocsPerOp: 0},
+	)
+	var buf bytes.Buffer
+	compare(old, cur, 0.10, &buf)
+	if want := "geomean ns/op speedup: 2.000x over 2 shared benchmark(s)"; !strings.Contains(buf.String(), want) {
+		t.Errorf("report missing %q:\n%s", want, buf.String())
+	}
+	// No shared benchmarks: no geomean line rather than a NaN.
+	var none bytes.Buffer
+	compare(benchReport(Benchmark{Name: "X", NsPerOp: 1}), benchReport(Benchmark{Name: "Y", NsPerOp: 1}), 0.10, &none)
+	if strings.Contains(none.String(), "geomean") {
+		t.Errorf("geomean printed with no shared benchmarks:\n%s", none.String())
 	}
 }
 

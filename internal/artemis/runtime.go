@@ -178,6 +178,11 @@ type Runtime struct {
 	// loose holds Extras that could not join the shared commit group and
 	// therefore still need their own commit at task boundaries.
 	loose []task.Persistent
+	// ctx is the reusable task execution context: one per runtime rather
+	// than one per task run, since task bodies never retain it past Execute
+	// (the differential harness and chaos sweeps hold the dispatch path to
+	// byte-identical behaviour either way).
+	ctx task.Ctx
 }
 
 // Control-region word layout.
@@ -694,9 +699,9 @@ func (r *Runtime) deliver() (monitor.Decision, error) {
 func (r *Runtime) runCurrentTask() error {
 	mcu := r.cfg.MCU
 	t := r.currentTask()
-	ctx := &task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
+	r.ctx = task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
 	prev := mcu.SetComponent(device.CompApp)
-	err := t.Execute(ctx)
+	err := t.Execute(&r.ctx)
 	mcu.SetComponent(prev)
 	if err != nil {
 		return fmt.Errorf("artemis: task %s: %w", t.Name, err)

@@ -48,12 +48,26 @@ type Slots interface {
 type Frame struct {
 	slots Slots
 	ev    ir.Event
+	// evSeq tags the staged event (see StageEvent); 0 means untagged.
+	evSeq uint64
 	fails []ir.Failure
 	err   error
 }
 
 // NewFrame returns an empty scratch frame.
 func NewFrame() *Frame { return &Frame{} }
+
+// StageEvent loads *ev into the frame's event slot for StepStaged, unless
+// the frame already holds the event tagged with this (non-zero) sequence
+// number. Monitors sharing one frame pay the event copy — a struct with a
+// string field, so a write-barriered store — once per event instead of once
+// per machine. ev is taken by pointer so the no-op case costs a compare,
+// not a 64-byte argument copy; the pointer itself is never retained.
+func (fr *Frame) StageEvent(ev *ir.Event, seq uint64) {
+	if fr.evSeq != seq || seq == 0 {
+		fr.ev, fr.evSeq = *ev, seq
+	}
+}
 
 // frameFn evaluates one compiled expression; on a runtime error it sets
 // fr.err and returns the zero Value.
@@ -77,8 +91,12 @@ type cstate struct {
 type ctrans struct {
 	trigger ir.Trigger
 	guard   frameFn // nil means always
-	target  int
-	body    []stmtFn
+	// bguard, when non-nil, is the unboxed compilation of the same guard
+	// expression (see unboxed.go) and is preferred by Step; guard is kept
+	// as the always-present boxed form.
+	bguard boolFn
+	target int
+	body   []stmtFn
 }
 
 // Name returns the machine name.
@@ -90,22 +108,51 @@ func (cm *Machine) Name() string { return cm.name }
 // transition the event is accepted silently. The returned slice aliases the
 // frame's scratch buffer and is valid until the next Step on that frame.
 func (cm *Machine) Step(fr *Frame, sl Slots, ev ir.Event) ([]ir.Failure, error) {
+	fr.ev, fr.evSeq = ev, 0
+	return cm.StepStaged(fr, sl)
+}
+
+// StepStaged is Step for an event already loaded with StageEvent. Splitting
+// the event staging from the dispatch lets a set of monitors sharing one
+// frame copy the event in once, then step every machine against it.
+func (cm *Machine) StepStaged(fr *Frame, sl Slots) ([]ir.Failure, error) {
 	si := sl.StateIdx()
 	if si < 0 || si >= len(cm.states) {
 		return nil, fmt.Errorf("ir: machine %s in invalid state %d", cm.name, si)
 	}
-	fr.slots, fr.ev, fr.fails, fr.err = sl, ev, fr.fails[:0], nil
+	// Reset the scratch lazily: after a quiet step (no failures, no error)
+	// both fields are already clean, and skipping the stores also skips
+	// their write barriers on this innermost loop.
+	fr.slots = sl
+	if len(fr.fails) != 0 {
+		fr.fails = fr.fails[:0]
+	}
+	if fr.err != nil {
+		fr.err = nil
+	}
 	st := &cm.states[si]
+	kind := fr.ev.Kind
 	for i := range st.trans {
 		tr := &st.trans[i]
-		if !tr.trigger.Matches(ev.Kind) {
+		if !tr.trigger.Matches(kind) {
 			continue
 		}
-		if tr.guard != nil {
+		if tr.bguard != nil {
+			if !tr.bguard(fr) {
+				continue
+			}
+		} else if tr.guard != nil {
 			v := tr.guard(fr)
 			ok := false
 			if fr.err == nil {
-				ok, fr.err = v.Truthy()
+				if v.T == ir.TBool {
+					// Inline Truthy's happy path: every compiled guard
+					// yields a boolean, so the error plumbing is dead
+					// weight per evaluation.
+					ok = v.B
+				} else {
+					ok, fr.err = v.Truthy()
+				}
 			}
 			if fr.err != nil {
 				return nil, fmt.Errorf("ir: machine %s state %s: guard: %w", cm.name, st.name, fr.err)
@@ -201,6 +248,7 @@ func CompileMachine(m *ir.Machine) (*Machine, error) {
 					return nil, err
 				}
 				ct.guard = g
+				ct.bguard = cc.boolExpr(tr.Guard)
 			}
 			body, err := cc.stmts(tr.Body)
 			if err != nil {
@@ -246,6 +294,31 @@ func (cc *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 		}
 		typ := cc.types[s.Name]
 		name := s.Name
+		// Unboxed fast path: when the expression's static type matches the
+		// variable's, Coerce is the identity and Encode is a direct bit
+		// projection, so the whole statement collapses to one slot store.
+		// (An int expression assigned to a float variable widens through
+		// floatExpr, matching Coerce's numeric rule.)
+		switch typ {
+		case ir.TInt:
+			if ix := cc.intExpr(s.X); ix != nil {
+				return func(fr *Frame) { fr.slots.SetVarWord(slot, uint64(ix(fr))) }, nil
+			}
+		case ir.TFloat:
+			if fx := cc.floatExpr(s.X); fx != nil {
+				return func(fr *Frame) { fr.slots.SetVarWord(slot, math.Float64bits(fx(fr))) }, nil
+			}
+		case ir.TBool:
+			if bx := cc.boolExpr(s.X); bx != nil {
+				return func(fr *Frame) {
+					var w uint64
+					if bx(fr) {
+						w = 1
+					}
+					fr.slots.SetVarWord(slot, w)
+				}, nil
+			}
+		}
 		return func(fr *Frame) {
 			v := x(fr)
 			if fr.err != nil {
@@ -275,6 +348,20 @@ func (cc *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 		els, err := cc.stmts(s.Else)
 		if err != nil {
 			return nil, err
+		}
+		if bc := cc.boolExpr(s.Cond); bc != nil {
+			return func(fr *Frame) {
+				branch := then
+				if !bc(fr) {
+					branch = els
+				}
+				for _, fn := range branch {
+					fn(fr)
+					if fr.err != nil {
+						return
+					}
+				}
+			}, nil
 		}
 		return func(fr *Frame) {
 			c := cond(fr)

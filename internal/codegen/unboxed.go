@@ -1,0 +1,249 @@
+package codegen
+
+import (
+	"math"
+
+	"github.com/tinysystems/artemis-go/internal/ir"
+)
+
+// Unboxed expression compilation: a second, optional compilation strategy
+// for the expression shapes that dominate guard evaluation. The generic
+// compiler (expr in compile.go) builds closures that pass 48-byte ir.Value
+// structs between every tree node and thread an error channel through each
+// call; for statically well-typed boolean, integer, and float expressions
+// neither is needed — evaluation cannot fail and the operands fit in
+// machine words. These compilers return nil for any shape they do not
+// cover, and callers always hold the generic closure as the fallback, so
+// the unboxed path can only ever replace work, never change results: every
+// specialization mirrors the corresponding ir.Apply / specializeBinary
+// case exactly (int/int equality is exact, comparisons widen to float,
+// int arithmetic stays in int64 and is widened once at the projection
+// boundary). Division and modulo stay boxed — their zero checks need the
+// error channel.
+
+// boolFn evaluates a statically boolean expression that cannot fail.
+type boolFn func(fr *Frame) bool
+
+// intFn evaluates a statically integer expression that cannot fail.
+type intFn func(fr *Frame) int64
+
+// floatFn evaluates a statically numeric expression that cannot fail,
+// projected to float64 under ir's widening rules.
+type floatFn func(fr *Frame) float64
+
+// boolExpr compiles e to an unboxed boolean closure, or nil.
+func (cc *compiler) boolExpr(e ir.Expr) boolFn {
+	switch e := e.(type) {
+	case ir.Lit:
+		if e.V.T == ir.TBool {
+			v := e.V.B
+			return func(*Frame) bool { return v }
+		}
+	case ir.Ident:
+		if slot, ok := cc.slots[e.Name]; ok && cc.types[e.Name] == ir.TBool {
+			return func(fr *Frame) bool { return fr.slots.VarWord(slot) != 0 }
+		}
+	case ir.Unary:
+		if e.Op == "!" {
+			if x := cc.boolExpr(e.X); x != nil {
+				return func(fr *Frame) bool { return !x(fr) }
+			}
+		}
+	case ir.Binary:
+		switch e.Op {
+		case "&&":
+			l, r := cc.boolExpr(e.L), cc.boolExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(fr *Frame) bool { return l(fr) && r(fr) }
+		case "||":
+			l, r := cc.boolExpr(e.L), cc.boolExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(fr *Frame) bool { return l(fr) || r(fr) }
+		case "==", "!=":
+			return cc.eqBool(e)
+		case "<", "<=", ">", ">=":
+			// Comparisons widen both sides to float64, exactly like the
+			// boxed compare path (including for int/int operands).
+			l, r := cc.floatExpr(e.L), cc.floatExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			switch e.Op {
+			case "<":
+				return func(fr *Frame) bool { return l(fr) < r(fr) }
+			case "<=":
+				return func(fr *Frame) bool { return l(fr) <= r(fr) }
+			case ">":
+				return func(fr *Frame) bool { return l(fr) > r(fr) }
+			default:
+				return func(fr *Frame) bool { return l(fr) >= r(fr) }
+			}
+		}
+	}
+	return nil
+}
+
+// eqBool compiles an (in)equality to an unboxed closure, or nil.
+func (cc *compiler) eqBool(e ir.Binary) boolFn {
+	neg := e.Op == "!="
+	// task vs string literal, either operand order: the hottest guard
+	// shape of every spec, one closure and one string compare.
+	var lit string
+	if isTaskIdent(e.L) {
+		if s, ok := stringLit(e.R); ok {
+			lit = s
+		} else {
+			return nil
+		}
+	} else if isTaskIdent(e.R) {
+		if s, ok := stringLit(e.L); ok {
+			lit = s
+		} else {
+			return nil
+		}
+	} else {
+		lt, lok := cc.staticType(e.L)
+		rt, rok := cc.staticType(e.R)
+		if !lok || !rok {
+			return nil
+		}
+		switch {
+		case lt == ir.TBool && rt == ir.TBool:
+			l, r := cc.boolExpr(e.L), cc.boolExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(fr *Frame) bool { return (l(fr) == r(fr)) != neg }
+		case lt == ir.TInt && rt == ir.TInt:
+			// Same-type integer equality is exact, never via float.
+			l, r := cc.intExpr(e.L), cc.intExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(fr *Frame) bool { return (l(fr) == r(fr)) != neg }
+		case numericType(lt) && numericType(rt):
+			l, r := cc.floatExpr(e.L), cc.floatExpr(e.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(fr *Frame) bool { return (l(fr) == r(fr)) != neg }
+		}
+		return nil
+	}
+	if neg {
+		return func(fr *Frame) bool { return fr.ev.Task != lit }
+	}
+	return func(fr *Frame) bool { return fr.ev.Task == lit }
+}
+
+// intExpr compiles e to an unboxed int64 closure, or nil.
+func (cc *compiler) intExpr(e ir.Expr) intFn {
+	switch e := e.(type) {
+	case ir.Lit:
+		if e.V.T == ir.TInt {
+			v := e.V.I
+			return func(*Frame) int64 { return v }
+		}
+	case ir.Ident:
+		switch e.Name {
+		case "t":
+			return func(fr *Frame) int64 { return int64(fr.ev.Time) }
+		case "path":
+			return func(fr *Frame) int64 { return int64(fr.ev.Path) }
+		case "task", "data", "energy":
+			return nil
+		}
+		if slot, ok := cc.slots[e.Name]; ok && cc.types[e.Name] == ir.TInt {
+			return func(fr *Frame) int64 { return int64(fr.slots.VarWord(slot)) }
+		}
+	case ir.Unary:
+		if e.Op == "-" {
+			if x := cc.intExpr(e.X); x != nil {
+				return func(fr *Frame) int64 { return -x(fr) }
+			}
+		}
+	case ir.Binary:
+		var op func(a, b int64) int64
+		switch e.Op {
+		case "+":
+			op = func(a, b int64) int64 { return a + b }
+		case "-":
+			op = func(a, b int64) int64 { return a - b }
+		case "*":
+			op = func(a, b int64) int64 { return a * b }
+		default:
+			return nil
+		}
+		lt, lok := cc.staticType(e.L)
+		rt, rok := cc.staticType(e.R)
+		if !lok || !rok || lt != ir.TInt || rt != ir.TInt {
+			return nil
+		}
+		l, r := cc.intExpr(e.L), cc.intExpr(e.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(fr *Frame) int64 { return op(l(fr), r(fr)) }
+	}
+	return nil
+}
+
+// floatExpr compiles e to an unboxed float64 closure, or nil. An
+// int-typed subtree is computed in int64 and widened once at this
+// boundary — the same value the boxed engines produce by evaluating the
+// subtree to an integer Value and projecting it.
+func (cc *compiler) floatExpr(e ir.Expr) floatFn {
+	if t, ok := cc.staticType(e); ok && t == ir.TInt {
+		if x := cc.intExpr(e); x != nil {
+			return func(fr *Frame) float64 { return float64(x(fr)) }
+		}
+		return nil
+	}
+	switch e := e.(type) {
+	case ir.Lit:
+		if e.V.T == ir.TFloat {
+			v := e.V.F
+			return func(*Frame) float64 { return v }
+		}
+	case ir.Ident:
+		switch e.Name {
+		case "data":
+			return func(fr *Frame) float64 { return fr.ev.Data }
+		case "energy":
+			return func(fr *Frame) float64 { return fr.ev.Energy }
+		case "task", "t", "path":
+			return nil
+		}
+		if slot, ok := cc.slots[e.Name]; ok && cc.types[e.Name] == ir.TFloat {
+			return func(fr *Frame) float64 { return math.Float64frombits(fr.slots.VarWord(slot)) }
+		}
+	case ir.Unary:
+		if e.Op == "-" {
+			if x := cc.floatExpr(e.X); x != nil {
+				return func(fr *Frame) float64 { return -x(fr) }
+			}
+		}
+	case ir.Binary:
+		var op func(a, b float64) float64
+		switch e.Op {
+		case "+":
+			op = func(a, b float64) float64 { return a + b }
+		case "-":
+			op = func(a, b float64) float64 { return a - b }
+		case "*":
+			op = func(a, b float64) float64 { return a * b }
+		default:
+			return nil
+		}
+		l, r := cc.floatExpr(e.L), cc.floatExpr(e.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(fr *Frame) float64 { return op(l(fr), r(fr)) }
+	}
+	return nil
+}

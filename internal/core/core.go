@@ -133,6 +133,13 @@ type Config struct {
 	Profile *device.Profile
 	// MemBytes defaults to 256 KiB (the MSP430FR5994's FRAM).
 	MemBytes int
+	// Mem, when non-nil, hosts the deployment on the given caller-owned
+	// FRAM image instead of drawing one from the global recycle pool, and
+	// MemBytes is ignored. The caller owns the image's lifecycle: the fleet
+	// engine uses this to keep each shard recycling its own images
+	// (nvm.Pool), and Framework.Release does not return caller-owned images
+	// to the global pool. The image must be fresh (zeroed, no allocations).
+	Mem *nvm.Memory
 	// Rounds defaults to 1.
 	Rounds int
 	// MaxReboots defaults to 1000; exhausting it reports non-termination.
@@ -284,6 +291,13 @@ type Framework struct {
 	integ  *integrity.Manager
 	tel    *telemetry.Tracer
 	otaMgr *ota.Manager
+
+	// released makes Release one-shot. The Memory has its own double-put
+	// guard, but that flag is cleared when the pool hands the image to the
+	// next deployment — a second Release through a stale Framework handle
+	// would then push an in-use image back into the pool. This flag pins
+	// idempotence to the handle the caller actually holds.
+	released bool
 }
 
 // New assembles a deployment.
@@ -311,7 +325,10 @@ func New(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	mem := nvm.NewPooled(cfg.MemBytes)
+	mem := cfg.Mem
+	if mem == nil {
+		mem = nvm.NewPooled(cfg.MemBytes)
+	}
 	var extras []task.Persistent
 	if cfg.BuildApp != nil {
 		g, ex, err := cfg.BuildApp(mem)
@@ -606,7 +623,16 @@ func buildSupply(sc SupplyConfig) (energy.Supply, error) {
 // monitor inspection) — is done; the memory may be handed to the next
 // deployment immediately. Sweeps and benchmarks that build thousands of
 // frameworks use it to stop re-allocating (and re-zeroing) 256 KiB images.
-func (f *Framework) Release() { f.mcu.Mem.Release() }
+// Release is idempotent: calling it again on the same Framework is a no-op,
+// even after the pool has already handed the image to a new deployment.
+// Caller-owned images (Config.Mem) are never returned to the global pool.
+func (f *Framework) Release() {
+	if f.released {
+		return
+	}
+	f.released = true
+	f.mcu.Mem.Release()
+}
 
 // Store returns the application's persistent store, for output inspection.
 func (f *Framework) Store() *task.Store { return f.store }

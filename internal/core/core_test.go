@@ -436,3 +436,56 @@ func TestSoakMultiRoundIntermittent(t *testing.T) {
 			rep.Wear["monitor"], rep.Reboots)
 	}
 }
+
+// TestReleaseIdempotent pins Framework.Release as one-shot per handle. The
+// Memory's own guard is cleared when the pool recycles the image into the
+// next deployment, so a second Release through a stale Framework would push
+// an image another deployment is actively using back into the pool — the
+// third deployment would then run on the second's live FRAM.
+func TestReleaseIdempotent(t *testing.T) {
+	build := func() *Framework {
+		f, err := New(artemisConfig(SupplyConfig{Kind: SupplyContinuous}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f1 := build()
+	f1.Release()
+	f2 := build() // may recycle f1's image, clearing its Memory-level guard
+	f1.Release() // stale handle: must be a no-op
+	f3 := build()
+	if f2.MCU().Mem == f3.MCU().Mem {
+		t.Fatal("double Release leaked an in-use image back into the pool")
+	}
+	f2.Release()
+	f3.Release()
+}
+
+// TestCallerOwnedMemory pins Config.Mem: the deployment runs on the given
+// image, and Release never feeds a caller-owned image to the global pool.
+func TestCallerOwnedMemory(t *testing.T) {
+	mem := nvm.New(256 * 1024)
+	cfg := artemisConfig(SupplyConfig{Kind: SupplyContinuous})
+	cfg.Mem = mem
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MCU().Mem != mem {
+		t.Fatal("deployment did not use the injected image")
+	}
+	rep, err := f.Run()
+	if err != nil || !rep.Completed {
+		t.Fatalf("run failed: %v %+v", err, rep)
+	}
+	f.Release() // no-op on a caller-owned (unpooled) image
+	f2, err := New(artemisConfig(SupplyConfig{Kind: SupplyContinuous}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Release()
+	if f2.MCU().Mem == mem {
+		t.Fatal("caller-owned image leaked into the global pool")
+	}
+}

@@ -80,6 +80,11 @@ type MCU struct {
 	// map read-modify-write on a string key.
 	use       *Usage
 	breakdown map[Component]*Usage
+	// known caches the accumulators of the predeclared components so the
+	// SetComponent switches on the event hot path (runtime → monitor →
+	// runtime, twice per event) resolve through a string switch instead of
+	// a map lookup. breakdown stays the source of truth for reporting.
+	known     [5]*Usage
 	lastStats nvm.Stats
 
 	// failAfter, when positive, forces a power failure after that much more
@@ -110,8 +115,34 @@ func NewMCU(clock *simclock.Clock, mem *nvm.Memory, supply energy.Supply, prof P
 	return m, nil
 }
 
-// usage returns the (created-on-demand) accumulator for a component.
+// usage returns the (created-on-demand) accumulator for a component. The
+// five predeclared components resolve through the known cache; anything
+// else (custom labels in tests) falls back to the map.
 func (m *MCU) usage(c Component) *Usage {
+	var slot int
+	switch c {
+	case CompApp:
+		slot = 0
+	case CompRuntime:
+		slot = 1
+	case CompMonitor:
+		slot = 2
+	case CompIntegrity:
+		slot = 3
+	case CompTelemetry:
+		slot = 4
+	default:
+		return m.mapUsage(c)
+	}
+	u := m.known[slot]
+	if u == nil {
+		u = m.mapUsage(c)
+		m.known[slot] = u
+	}
+	return u
+}
+
+func (m *MCU) mapUsage(c Component) *Usage {
 	u := m.breakdown[c]
 	if u == nil {
 		u = &Usage{}

@@ -1,0 +1,300 @@
+// Package fleet is the sharded batch stepping engine: it hosts N simulated
+// intermittent devices — a heterogeneous mix of every example deployment in
+// internal/examplespecs — and advances the whole fleet one step at a time,
+// where one device step is one complete application run (the unit every
+// figure sweep is built from). It is the throughput substrate for
+// fleet-scale what-if analysis: the HTTP fleet server of the roadmap is a
+// thin layer over Engine.
+//
+// # Sharding and affinity
+//
+// Devices are assigned to shards in contiguous index blocks. Each shard
+// owns its working state exclusively: a shard-local nvm.Pool recycles FRAM
+// images only within the shard (no cross-CPU contention, no interleaving
+// through a shared pool), and the shard's digest scratch and counters are
+// reused across steps. A step schedules one task per shard across
+// internal/parallel's bounded worker pool.
+//
+// # Determinism
+//
+// Every device run is fully independent — its own memory image, clock, and
+// seeded supply — and a recycled image is indistinguishable from a fresh
+// one, so a device's outcome digest does not depend on which shard ran it,
+// which worker ran the shard, or how often its image was recycled. Digests
+// are folded in device-index order. The fleet digest is therefore
+// byte-identical at any shard and worker count; fleet_test.go holds the
+// engine to that, including under the race detector.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/examplespecs"
+	"github.com/tinysystems/artemis-go/internal/nvm"
+	"github.com/tinysystems/artemis-go/internal/parallel"
+	"github.com/tinysystems/artemis-go/internal/spec"
+	"github.com/tinysystems/artemis-go/internal/telemetry"
+	"github.com/tinysystems/artemis-go/internal/transform"
+)
+
+// DefaultMemBytes is the per-device FRAM image size (the MSP430FR5994's).
+const DefaultMemBytes = 256 * 1024
+
+// Config sizes an engine.
+type Config struct {
+	// Devices is the fleet size. Required.
+	Devices int
+	// Shards is the number of device groups stepped as units; <= 0 means
+	// min(Devices, GOMAXPROCS). The shard count never changes results,
+	// only scheduling granularity.
+	Shards int
+	// Workers bounds the goroutines stepping shards; <= 0 means one per
+	// CPU. Like Shards, it never changes results.
+	Workers int
+	// Cases is the deployment mix; device i runs Cases[i % len(Cases)].
+	// Nil means examplespecs.All().
+	Cases []examplespecs.Case
+	// MemBytes is the per-device image size; 0 means DefaultMemBytes.
+	MemBytes int
+}
+
+// device is one fleet member: a case binding plus the per-case compiled
+// monitor program (shared by every device of the same case).
+type device struct {
+	index    int
+	name     string
+	build    func() (core.Config, error)
+	compiled *transform.Result
+}
+
+// shard owns a contiguous block of devices and all state their steps touch.
+type shard struct {
+	index   int
+	devices []device
+	// pool recycles this shard's FRAM images; nobody else gets them.
+	pool *nvm.Pool
+	// digests is the per-step scratch of device outcome digests, reused
+	// across steps (one slot per device in the shard).
+	digests []uint64
+	// stats accumulates across steps; read back via Engine.ShardStats.
+	stats telemetry.FleetShard
+}
+
+// Engine hosts the fleet.
+type Engine struct {
+	shards  []*shard
+	workers int
+	devices int
+	// steps and digest accumulate across Step calls; digest folds every
+	// device digest of every step in (step, device-index) order.
+	steps  uint64
+	digest uint64
+}
+
+// New assembles a fleet engine. It builds each distinct case's
+// configuration once to validate it and to pre-compile the monitor
+// specification, so per-step construction skips the spec parse + transform
+// for every device that shares the case (the same sharing sweeps use).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("fleet: Devices must be positive, got %d", cfg.Devices)
+	}
+	cases := cfg.Cases
+	if cases == nil {
+		cases = examplespecs.All()
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("fleet: empty case list")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Devices {
+		shards = cfg.Devices
+	}
+	memBytes := cfg.MemBytes
+	if memBytes <= 0 {
+		memBytes = DefaultMemBytes
+	}
+
+	// One compiled monitor program per case, shared by all its devices: a
+	// transform.Result is immutable and safe to reuse across topology-
+	// identical graphs, which fresh Config() calls produce by construction.
+	compiled := make([]*transform.Result, len(cases))
+	for i, c := range cases {
+		probe, err := c.Config()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+		}
+		if probe.System != core.Artemis || probe.SpecSource == "" || probe.Graph == nil {
+			continue // camera-style BuildApp cases compile per run
+		}
+		s, err := spec.Parse(probe.SpecSource)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+		}
+		compiled[i], err = transform.Compile(s, transform.Options{Graph: probe.Graph, DataVars: probe.StoreKeys})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+		}
+	}
+
+	e := &Engine{workers: cfg.Workers, devices: cfg.Devices}
+	for s := 0; s < shards; s++ {
+		lo := s * cfg.Devices / shards
+		hi := (s + 1) * cfg.Devices / shards
+		sh := &shard{
+			index:   s,
+			devices: make([]device, 0, hi-lo),
+			pool:    nvm.NewPool(memBytes),
+			digests: make([]uint64, hi-lo),
+		}
+		for i := lo; i < hi; i++ {
+			c := cases[i%len(cases)]
+			sh.devices = append(sh.devices, device{
+				index:    i,
+				name:     fmt.Sprintf("%s#%d", c.Name, i),
+				build:    c.Config,
+				compiled: compiled[i%len(cases)],
+			})
+		}
+		sh.stats = telemetry.FleetShard{Shard: s, Devices: len(sh.devices)}
+		e.shards = append(e.shards, sh)
+	}
+	return e, nil
+}
+
+// Devices returns the fleet size.
+func (e *Engine) Devices() int { return e.devices }
+
+// ShardCount returns the number of shards.
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// Steps returns the number of completed fleet steps.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Digest returns the cumulative fleet digest: every device outcome of every
+// step, folded in (step, device-index) order. Identical at any shard and
+// worker count.
+func (e *Engine) Digest() uint64 { return e.digest }
+
+// StepResult summarises one fleet step.
+type StepResult struct {
+	// DeviceSteps is the number of device runs this step (the fleet size).
+	DeviceSteps int
+	// Digest is the cumulative engine digest after the step.
+	Digest uint64
+}
+
+// Step advances every device by one run. Shards step concurrently; devices
+// within a shard step sequentially on the shard's own images. An error
+// (which the example cases never produce) aborts the step and leaves the
+// engine's counters mid-step; the digest is not advanced.
+func (e *Engine) Step(ctx context.Context) (StepResult, error) {
+	_, err := parallel.Map(ctx, e.shards, e.workers,
+		func(ctx context.Context, _ int, sh *shard) (struct{}, error) {
+			return struct{}{}, sh.step(ctx)
+		})
+	if err != nil {
+		return StepResult{}, err
+	}
+	for _, sh := range e.shards {
+		for _, d := range sh.digests {
+			e.digest = mix(e.digest, d)
+		}
+	}
+	e.steps++
+	return StepResult{DeviceSteps: e.devices, Digest: e.digest}, nil
+}
+
+// ShardStats snapshots every shard's cumulative counters, in shard order.
+func (e *Engine) ShardStats() []telemetry.FleetShard {
+	out := make([]telemetry.FleetShard, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = sh.stats
+	}
+	return out
+}
+
+// WriteMetrics writes the per-shard counters as Prometheus-style text
+// through internal/telemetry's fleet exporter.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	return telemetry.FleetMetrics(w, e.ShardStats())
+}
+
+// step runs every device of the shard once, in index order.
+func (sh *shard) step(ctx context.Context) error {
+	for i := range sh.devices {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d, err := sh.stepDevice(&sh.devices[i])
+		if err != nil {
+			return err
+		}
+		sh.digests[i] = d
+	}
+	return nil
+}
+
+// stepDevice executes one device run on a shard-owned image and returns the
+// outcome digest.
+func (sh *shard) stepDevice(d *device) (uint64, error) {
+	cfg, err := d.build()
+	if err != nil {
+		return 0, fmt.Errorf("fleet: %s: %w", d.name, err)
+	}
+	if d.compiled != nil && cfg.Compiled == nil {
+		cfg.Compiled, cfg.SpecSource = d.compiled, ""
+	}
+	if sh.pool.Free() > 0 {
+		sh.stats.Recycled++
+	}
+	mem := sh.pool.Get()
+	cfg.Mem = mem
+	f, err := core.New(cfg)
+	if err != nil {
+		sh.pool.Put(mem)
+		return 0, fmt.Errorf("fleet: %s: %w", d.name, err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		sh.pool.Put(mem)
+		return 0, fmt.Errorf("fleet: %s: %w", d.name, err)
+	}
+
+	// The digest covers the final FRAM image (the memory's incremental
+	// hash, which includes every committed store slot and monitor state)
+	// plus the run's externally visible outcome.
+	digest := mem.Hash()
+	digest = mix(digest, uint64(rep.Reboots))
+	digest = mix(digest, uint64(rep.Elapsed))
+	switch {
+	case rep.NonTerminated:
+		digest = mix(digest, 2)
+		sh.stats.NonTerminated++
+	case rep.Completed:
+		digest = mix(digest, 1)
+		sh.stats.Completed++
+	}
+	sh.stats.Steps++
+	sh.stats.Reboots += uint64(rep.Reboots)
+	sh.pool.Put(mem)
+	return digest, nil
+}
+
+// mix folds v into d with a splitmix64-style finaliser; non-commutative, so
+// fold order is part of the digest.
+func mix(d, v uint64) uint64 {
+	x := d ^ (v + 0x9e3779b97f4a7c15 + (d << 6) + (d >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

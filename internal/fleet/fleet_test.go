@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFleetDigestDeterminism is the engine's core contract: the cumulative
+// fleet digest is byte-identical at any shard count (and, via parallel.Map,
+// any worker count), including under the race detector. Shard counts cover
+// the degenerate serial case, a count that splits the case mix unevenly,
+// and one shard per CPU.
+func TestFleetDigestDeterminism(t *testing.T) {
+	const devices, steps = 8, 2
+	shardCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	var want uint64
+	for i, shards := range shardCounts {
+		e, err := New(Config{Devices: devices, Shards: shards, Workers: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last StepResult
+		for s := 0; s < steps; s++ {
+			last, err = e.Step(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if last.DeviceSteps != devices {
+			t.Fatalf("shards=%d: step covered %d devices, want %d", shards, last.DeviceSteps, devices)
+		}
+		if e.Digest() != last.Digest {
+			t.Fatalf("shards=%d: Digest()=%#x but StepResult.Digest=%#x", shards, e.Digest(), last.Digest)
+		}
+		if i == 0 {
+			want = e.Digest()
+			if want == 0 {
+				t.Fatal("fleet digest is zero — nothing was folded")
+			}
+			continue
+		}
+		if e.Digest() != want {
+			t.Fatalf("shards=%d: digest %#x, want %#x (shards=1)", shards, e.Digest(), want)
+		}
+	}
+}
+
+// TestFleetShardStats checks the counters the Prometheus exporter renders:
+// every device step is attributed to exactly one shard, outcomes are
+// partitioned, and after the first step every shard run is served from its
+// own recycled image (shard affinity).
+func TestFleetShardStats(t *testing.T) {
+	const devices, steps = 6, 3
+	e, err := New(Config{Devices: devices, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		if _, err := e.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total, outcomes, recycled uint64
+	for _, sh := range e.ShardStats() {
+		total += sh.Steps
+		outcomes += sh.Completed + sh.NonTerminated
+		recycled += sh.Recycled
+		if sh.Steps != uint64(sh.Devices*steps) {
+			t.Errorf("shard %d: %d steps for %d devices over %d fleet steps", sh.Shard, sh.Steps, sh.Devices, steps)
+		}
+	}
+	if total != devices*steps {
+		t.Errorf("total device steps %d, want %d", total, devices*steps)
+	}
+	if outcomes != total {
+		t.Errorf("outcomes %d do not partition %d device steps", outcomes, total)
+	}
+	// Each shard needs at most one image in flight, so only each shard's
+	// very first run can miss its pool.
+	if want := total - 2; recycled != want {
+		t.Errorf("recycled %d runs from shard pools, want %d", recycled, want)
+	}
+}
+
+// TestFleetMetricsOutput pins the exporter wiring: per-shard series appear
+// with one sample per shard and deterministic ordering.
+func TestFleetMetricsOutput(t *testing.T) {
+	e, err := New(Config{Devices: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`artemis_fleet_shard_devices{shard="0"} 2`,
+		`artemis_fleet_device_steps_total{shard="1"} 2`,
+		`artemis_fleet_pool_recycled_total{shard="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := e.WriteMetrics(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("metrics output is not deterministic across calls")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("Devices=0 accepted")
+	}
+	e, err := New(Config{Devices: 2, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ShardCount() != 2 {
+		t.Errorf("shards not clamped to device count: %d", e.ShardCount())
+	}
+}

@@ -108,6 +108,9 @@ type Runtime struct {
 	init   *nvm.Var[bool]
 	group  *nvm.CommitGroup
 	stats  Stats
+	// ctx is the reusable task execution context (task bodies never retain
+	// it past Execute).
+	ctx task.Ctx
 }
 
 // New assembles the runtime, allocating persistent state. Bounds are
@@ -267,9 +270,9 @@ func (r *Runtime) enforce(t *task.Task, pathID int) error {
 // execute runs one task body with app-component accounting.
 func (r *Runtime) execute(t *task.Task) error {
 	mcu := r.cfg.MCU
-	ctx := &task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
+	r.ctx = task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
 	prev := mcu.SetComponent(device.CompApp)
-	err := t.Execute(ctx)
+	err := t.Execute(&r.ctx)
 	mcu.SetComponent(prev)
 	if err != nil {
 		return fmt.Errorf("ocelot: task %s: %w", t.Name, err)

@@ -90,6 +90,9 @@ type Runtime struct {
 	ctl   *nvm.Committed
 	init  *nvm.Var[bool]
 	stats Stats
+	// ctx is the reusable task execution context (task bodies never retain
+	// it past Execute).
+	ctx task.Ctx
 
 	// endTime persists each task's last completion time (freshness source).
 	endTime map[string]*nvm.Var[int64]
@@ -280,9 +283,9 @@ func (r *Runtime) propsSatisfied(t *task.Task, pathID int) bool {
 // runTask executes a task atomically and updates the coupled bookkeeping.
 func (r *Runtime) runTask(t *task.Task) error {
 	mcu := r.cfg.MCU
-	ctx := &task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
+	r.ctx = task.Ctx{MCU: mcu, Store: r.cfg.Store, Task: t}
 	prev := mcu.SetComponent(device.CompApp)
-	err := t.Execute(ctx)
+	err := t.Execute(&r.ctx)
 	mcu.SetComponent(prev)
 	if err != nil {
 		return fmt.Errorf("mayfly: task %s: %w", t.Name, err)

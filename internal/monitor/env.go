@@ -44,30 +44,37 @@ const (
 )
 
 // persistentEnv is an ir.Env whose state lives in a committed NVM region.
+// Variable slots are declaration-order word indices resolved by a linear
+// scan of the machine's (small, fixed) variable list: the compiled engine
+// never looks a name up (it pre-resolves indices through codegen.Slots),
+// and the interpreter's scans beat the two per-env maps this used to carry
+// — construction of a deployment no longer allocates any map.
 type persistentEnv struct {
-	c     *nvm.Committed
-	m     *ir.Machine
-	slots map[string]int // variable name -> word index
-	types map[string]ir.Type
+	c *nvm.Committed
+	m *ir.Machine
 }
 
-func newPersistentEnv(mem *nvm.Memory, owner string, m *ir.Machine) (*persistentEnv, error) {
+// init allocates the env's committed region; persistentEnv is embedded by
+// value in Monitor, so initialisation is in-place rather than by
+// constructor.
+func (e *persistentEnv) init(mem *nvm.Memory, owner string, m *ir.Machine) error {
 	words := wordVars + len(m.Vars)
 	c, err := nvm.AllocCommitted(mem, owner, m.Name, words*8)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	e := &persistentEnv{
-		c:     c,
-		m:     m,
-		slots: make(map[string]int, len(m.Vars)),
-		types: make(map[string]ir.Type, len(m.Vars)),
+	e.c, e.m = c, m
+	return nil
+}
+
+// varIdx resolves a variable name to its declaration index, or -1.
+func (e *persistentEnv) varIdx(name string) int {
+	for i := range e.m.Vars {
+		if e.m.Vars[i].Name == name {
+			return i
+		}
 	}
-	for i, v := range m.Vars {
-		e.slots[v.Name] = wordVars + i
-		e.types[v.Name] = v.Type
-	}
-	return e, nil
+	return -1
 }
 
 func (e *persistentEnv) word(i int) uint64       { return e.c.ReadUint64(i * 8) }
@@ -75,11 +82,11 @@ func (e *persistentEnv) setWord(i int, v uint64) { e.c.WriteUint64(i*8, v) }
 
 // GetVar implements ir.Env.
 func (e *persistentEnv) GetVar(name string) (ir.Value, bool) {
-	slot, ok := e.slots[name]
-	if !ok {
+	i := e.varIdx(name)
+	if i < 0 {
 		return ir.Value{}, false
 	}
-	v, err := ir.Decode(e.types[name], e.word(slot))
+	v, err := ir.Decode(e.m.Vars[i].Type, e.word(wordVars+i))
 	if err != nil {
 		return ir.Value{}, false
 	}
@@ -88,15 +95,15 @@ func (e *persistentEnv) GetVar(name string) (ir.Value, bool) {
 
 // SetVar implements ir.Env; writes are staged until commit.
 func (e *persistentEnv) SetVar(name string, v ir.Value) error {
-	slot, ok := e.slots[name]
-	if !ok {
+	i := e.varIdx(name)
+	if i < 0 {
 		return fmt.Errorf("monitor: machine %s has no variable %q", e.m.Name, name)
 	}
 	bits, err := v.Encode()
 	if err != nil {
 		return fmt.Errorf("monitor: machine %s variable %q: %w", e.m.Name, name, err)
 	}
-	e.setWord(slot, bits)
+	e.setWord(wordVars+i, bits)
 	return nil
 }
 

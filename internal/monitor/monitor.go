@@ -29,7 +29,7 @@ func actionFromWord(w uint64) action.Action { return action.Action(int64(w)) }
 // Monitor is one power-failure-resilient machine instance.
 type Monitor struct {
 	machine *ir.Machine
-	env     *persistentEnv
+	env     persistentEnv
 	binding transform.Binding
 	tel     *telemetry.Tracer
 	// compiled, when non-nil, steps the machine through the closure-compiled
@@ -65,9 +65,13 @@ func (m *Monitor) Deliver(ev Event) ([]ir.Failure, error) {
 	var fs []ir.Failure
 	var err error
 	if m.compiled != nil {
-		fs, err = m.compiled.Step(m.frame, m.env, ev.Event)
+		// The frame is shared by the whole set; tagging the staged event
+		// with its sequence number makes the copy happen once per event,
+		// not once per monitor.
+		m.frame.StageEvent(&ev.Event, ev.Seq)
+		fs, err = m.compiled.StepStaged(m.frame, &m.env)
 	} else {
-		fs, err = ir.Step(m.machine, m.env, ev.Event)
+		fs, err = ir.Step(m.machine, &m.env, ev.Event)
 	}
 	if err != nil {
 		return nil, err
@@ -124,6 +128,8 @@ func (m *Monitor) VarValue(name string) (ir.Value, bool) { return m.env.GetVar(n
 // generated from the property specification, each with persistent state.
 type Set struct {
 	monitors []*Monitor
+	// scratch backs the slice Deliver returns; see Deliver's contract.
+	scratch []ir.Failure
 }
 
 // NewSet allocates persistent state for every machine of a compiled
@@ -134,13 +140,18 @@ func NewSet(mem *nvm.Memory, res *transform.Result) (*Set, error) {
 	if len(res.Program.Machines) != len(res.Bindings) {
 		return nil, fmt.Errorf("monitor: %d machines but %d bindings", len(res.Program.Machines), len(res.Bindings))
 	}
-	s := &Set{}
+	// One backing array holds every Monitor of the set; the pointer slice
+	// preserves stable *Monitor identities for inspectors and swaps.
+	backing := make([]Monitor, len(res.Program.Machines))
+	s := &Set{monitors: make([]*Monitor, 0, len(backing))}
 	for i, m := range res.Program.Machines {
-		env, err := newPersistentEnv(mem, Owner, m)
-		if err != nil {
+		mon := &backing[i]
+		if err := mon.env.init(mem, Owner, m); err != nil {
 			return nil, err
 		}
-		s.monitors = append(s.monitors, &Monitor{machine: m, env: env, binding: res.Bindings[i]})
+		mon.machine = m
+		mon.binding = res.Bindings[i]
+		s.monitors = append(s.monitors, mon)
 	}
 	return s, nil
 }
@@ -155,13 +166,20 @@ func (s *Set) Monitors() []*Monitor { return s.monitors }
 // The verdicts, FSM trajectory, and staged NVM bytes are identical either
 // way; only dispatch cost changes.
 func (s *Set) UseCompiled(p *codegen.Program) {
+	// One frame serves the whole set: monitors within a set step strictly
+	// sequentially (Deliver iterates them in order), and Step fully resets
+	// the frame's scratch before using it.
+	var frame *codegen.Frame
 	for i, m := range s.monitors {
 		cm := p.Machine(i)
 		if cm == nil || cm.Name() != m.machine.Name {
 			continue
 		}
+		if frame == nil {
+			frame = codegen.NewFrame()
+		}
 		m.compiled = cm
-		m.frame = codegen.NewFrame()
+		m.frame = frame
 	}
 }
 
@@ -215,8 +233,13 @@ func (s *Set) Rollback() {
 // failures. It is idempotent per event sequence number, so re-delivery
 // after a power failure finalises interrupted processing without
 // double-stepping any machine.
+//
+// The returned slice aliases the set's reusable scratch and is valid only
+// until the next Deliver on this set — the same contract as
+// codegen.Machine.Step. Callers that need the failures past that point
+// must copy them.
 func (s *Set) Deliver(ev Event) ([]ir.Failure, error) {
-	var all []ir.Failure
+	all := s.scratch[:0]
 	for _, m := range s.monitors {
 		fs, err := m.Deliver(ev)
 		if err != nil {
@@ -224,6 +247,7 @@ func (s *Set) Deliver(ev Event) ([]ir.Failure, error) {
 		}
 		all = append(all, fs...)
 	}
+	s.scratch = all
 	return all, nil
 }
 

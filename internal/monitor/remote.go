@@ -256,16 +256,19 @@ func (r *Remote) Deliver(ev Event) ([]ir.Failure, error) {
 		r.mcu.Exec(int64(localEvalCyclesPerMachine * len(r.set.monitors)))
 		return r.set.Deliver(ev)
 	}
-	fs, err := r.set.Deliver(ev)
-	if err != nil {
-		return nil, err
-	}
 	// A duplicated notification re-delivers the same sequence number; the
-	// set recognises it and returns the stored verdict without stepping.
+	// set recognises the replay and returns the stored verdict without
+	// stepping. Duplicates are processed first so the verdict slice handed
+	// back — which aliases the set's delivery scratch — comes from the
+	// final delivery and stays valid for the caller.
 	for i := 0; i < dups; i++ {
 		if _, err := r.set.Deliver(ev); err != nil {
 			return nil, err
 		}
+	}
+	fs, err := r.set.Deliver(ev)
+	if err != nil {
+		return nil, err
 	}
 	r.ex.ReceiveAck()
 	return fs, nil

@@ -21,7 +21,6 @@
 package nvm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -41,8 +40,17 @@ type Stats struct {
 // Memory is a simulated FRAM array with a bump allocator and per-owner
 // footprint accounting.
 type Memory struct {
-	data  []byte
+	data []byte
+	// words is the backing array data aliases, padded to a whole number of
+	// 8-byte words so the hash maintenance can always load the aligned word
+	// containing any byte. The padding bytes are never written and stay
+	// zero, so they contribute nothing to the fingerprint.
+	words []byte
 	next  int
+	// used sums the requested allocation sizes (the Table-2 footprint);
+	// next additionally counts the alignment padding the bump allocator
+	// inserts to keep every region 8-byte aligned.
+	used  int
 	allot []Allocation
 	stats Stats
 
@@ -57,11 +65,20 @@ type Memory struct {
 	allotWear []int64
 
 	// hash is the incremental fingerprint of data, maintained on every
-	// byte stored (write path and FlipBit). It is an XOR of per-position
-	// mixes with mixByte(off, 0) == 0, so a fresh zeroed Memory needs no
+	// store (write path and FlipBit) at aligned-word granularity: a write
+	// folds one digest update per differing 8-byte word rather than one
+	// per differing byte. It is an XOR of per-word mixes with
+	// mixWord(off, 0) == 0, so a fresh zeroed Memory needs no
 	// initialisation pass and Hash() is O(1) — the chaos explorer calls it
 	// after every write while pruning.
 	hash uint64
+	// contrib caches each aligned word's current digest contribution
+	// (contrib[i] == mixWord(8i, word at 8i), zero for zero words). A
+	// store then folds one fresh mix instead of two — the stale side comes
+	// from the cache — and never re-reads the old word. It is host-side
+	// acceleration only; the fingerprint value is identical with or
+	// without it.
+	contrib []uint64
 
 	// crashAfter, when positive, counts down with every byte written; when
 	// it reaches zero the crash hook runs (typically panicking with the
@@ -95,6 +112,19 @@ type Memory struct {
 	// data[:dirty] instead of the whole image — the difference between
 	// recycling a 256 KiB FRAM and memclr-ing it per run.
 	dirty int
+	// stageArena is a bump arena the volatile staging buffers of Committed
+	// regions are carved from. Staging buffers model SRAM working copies:
+	// they are not part of the persistent image, but their lifetime matches
+	// the Memory's (a released image invalidates every derived structure),
+	// so pooling the arena with the image removes one heap allocation per
+	// committed region from deployment construction.
+	stageArena []byte
+	// commChunks pools Committed headers with the image, for the same
+	// reason as stageArena: a deployment's committed regions die with its
+	// Memory, so carving their headers from chunks recycled on pool reuse
+	// removes one heap allocation per region from construction. Chunks
+	// never reallocate, so handed-out *Committed addresses are stable.
+	commChunks [][]Committed
 	// pooled marks memories born from NewPooled; released guards against
 	// double-Release putting one Memory into the pool twice.
 	pooled   bool
@@ -123,7 +153,15 @@ func New(size int) *Memory {
 	if size <= 0 {
 		panic(fmt.Sprintf("nvm: non-positive memory size %d", size))
 	}
-	return &Memory{data: make([]byte, size)}
+	words := make([]byte, (size+7)&^7)
+	return &Memory{data: words[:size], words: words, contrib: make([]uint64, len(words)/8)}
+}
+
+// word loads the aligned 8-byte word at offset w (a multiple of 8). It reads
+// through the padded backing array, so the word containing the image's last
+// byte is always loadable; padding bytes are never written and read zero.
+func (m *Memory) word(w int) uint64 {
+	return binary.LittleEndian.Uint64(m.words[w:])
 }
 
 // memPool recycles released Memory images across deployments. One pool
@@ -164,12 +202,70 @@ func (m *Memory) Release() {
 	memPool.Put(m)
 }
 
+// Pool is a caller-owned free list of equally-sized Memory images. Unlike
+// the process-global pool behind NewPooled, a Pool has a single owner: one
+// goroutine gets, uses, and puts, so recycling needs no synchronisation and
+// the same images stay with the same owner — the shard-affinity building
+// block of the fleet stepping engine, where each shard recycles its own
+// images instead of contending on (and interleaving through) a shared pool.
+//
+// Images from a Pool are created with New, not NewPooled, so a stray
+// Release on one is a no-op and can never leak a Pool-owned image into the
+// global pool.
+type Pool struct {
+	size int
+	free []*Memory
+}
+
+// NewPool returns an empty pool of images of the given size in bytes.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		panic(fmt.Sprintf("nvm: non-positive pool image size %d", size))
+	}
+	return &Pool{size: size}
+}
+
+// Get returns a zeroed Memory of the pool's size, recycling a previously
+// Put image when one is available. A recycled image is reset exactly like
+// NewPooled's — indistinguishable from fresh.
+func (p *Pool) Get() *Memory {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		m.reset()
+		return m
+	}
+	return New(p.size)
+}
+
+// Free returns the number of recycled images currently held.
+func (p *Pool) Free() int { return len(p.free) }
+
+// Put returns an image to the pool. The caller must be completely done with
+// it: every derived structure is invalid after Put. Images of the wrong
+// size (or nil) are dropped.
+func (p *Pool) Put(m *Memory) {
+	if m == nil || len(m.data) != p.size {
+		return
+	}
+	p.free = append(p.free, m)
+}
+
 // reset returns a recycled Memory to the fresh-from-New state: zeroed image
 // (only the dirty prefix needs touching), zero accounting, no hooks.
 func (m *Memory) reset() {
 	clear(m.data[:m.dirty])
+	clear(m.contrib[:(m.dirty+7)/8])
 	m.dirty = 0
 	m.next = 0
+	m.used = 0
+	m.stageArena = m.stageArena[:0]
+	for i := range m.commChunks {
+		ch := m.commChunks[i]
+		clear(ch[:cap(ch)]) // drop stale pointers from the recycled headers
+		m.commChunks[i] = ch[:0]
+	}
 	m.allot = m.allot[:0]
 	m.stats = Stats{}
 	m.ownersAt = m.ownersAt[:0]
@@ -185,8 +281,9 @@ func (m *Memory) reset() {
 // Size returns the total FRAM capacity in bytes.
 func (m *Memory) Size() int { return len(m.data) }
 
-// Used returns the number of bytes allocated so far.
-func (m *Memory) Used() int { return m.next }
+// Used returns the number of bytes allocated so far (the sum of requested
+// region sizes, excluding the allocator's alignment padding).
+func (m *Memory) Used() int { return m.used }
 
 // Stats returns the access counters.
 func (m *Memory) Stats() Stats { return m.stats }
@@ -245,6 +342,7 @@ func (m *Memory) SetAccessObserver(fn func(op AccessOp, off int, p []byte)) { m.
 // straight-line initialisation guarantees.
 func (m *Memory) Reboot() {
 	m.next = 0
+	m.used = 0
 	m.allot = m.allot[:0] // keep capacity: every boot re-runs the same sequence
 	m.crashAfter = 0
 	m.crashHook = nil
@@ -254,11 +352,26 @@ func (m *Memory) Reboot() {
 
 // Alloc reserves size bytes for the given owner and variable name.
 func (m *Memory) Alloc(owner, name string, size int) (*Region, error) {
+	r, err := m.allocRegion(owner, name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// allocRegion is Alloc returning the Region by value, so composite
+// structures (Committed, Var) can embed their regions instead of holding
+// three separate heap objects each. Regions start 8-byte aligned: the bump
+// pointer advances by the size rounded up to a whole word, which keeps every
+// word-sized store naturally aligned and the word-granular hash maintenance
+// on its fast path. The padding bytes belong to no region, are never
+// written, and are excluded from Used().
+func (m *Memory) allocRegion(owner, name string, size int) (Region, error) {
 	if size <= 0 {
-		return nil, fmt.Errorf("nvm: non-positive allocation %d for %s/%s", size, owner, name)
+		return Region{}, fmt.Errorf("nvm: non-positive allocation %d for %s/%s", size, owner, name)
 	}
 	if m.next+size > len(m.data) {
-		return nil, fmt.Errorf("nvm: out of memory allocating %d bytes for %s/%s (used %d of %d)",
+		return Region{}, fmt.Errorf("nvm: out of memory allocating %d bytes for %s/%s (used %d of %d)",
 			size, owner, name, m.next, len(m.data))
 	}
 	a := Allocation{Owner: owner, Name: name, Off: m.next, Size: size}
@@ -270,8 +383,27 @@ func (m *Memory) Alloc(owner, name string, size int) (*Region, error) {
 		m.allotWear = append(m.allotWear, 0)
 	}
 	m.allot = append(m.allot, a)
-	m.next += size
-	return &Region{mem: m, off: a.Off, size: size, owner: owner, name: name, idx: idx}, nil
+	m.used += size
+	m.next += (size + 7) &^ 7
+	return Region{mem: m, off: a.Off, size: size, owner: owner, name: name, idx: idx}, nil
+}
+
+// stageBuf carves an n-byte zeroed staging buffer from the memory's bump
+// arena (see the stageArena field). Buffers are full slices (capacity
+// clamped) so appends can never bleed into a neighbour.
+func (m *Memory) stageBuf(n int) []byte {
+	if len(m.stageArena)+n > cap(m.stageArena) {
+		c := 4096
+		for c < n {
+			c *= 2
+		}
+		m.stageArena = make([]byte, 0, c)
+	}
+	off := len(m.stageArena)
+	m.stageArena = m.stageArena[:off+n]
+	s := m.stageArena[off : off+n : off+n]
+	clear(s)
+	return s
 }
 
 // MustAlloc is Alloc that panics on failure; for static layouts established
@@ -316,13 +448,71 @@ func (m *Memory) Allocations() []Allocation {
 	return out
 }
 
+// read charges one FRAM read and returns the image bytes. The access
+// observer dispatch is outlined into reportRead so read itself inlines
+// into the Region accessors (selector reads run once per commit).
 func (m *Memory) read(off, n int) []byte {
 	m.stats.Reads++
 	m.stats.BytesRead += int64(n)
 	if m.access != nil {
-		m.access(OpRead, off, m.data[off:off+n])
+		m.reportRead(off, n)
 	}
 	return m.data[off : off+n]
+}
+
+//go:noinline
+func (m *Memory) reportRead(off, n int) {
+	m.access(OpRead, off, m.data[off:off+n])
+}
+
+// readByte is the one-byte spelling of read, with identical charges. It is
+// small enough to inline into Region.ByteAt, which matters because selector
+// reads run on every commit and reopen.
+func (m *Memory) readByte(off int) byte {
+	m.stats.Reads++
+	m.stats.BytesRead++
+	if m.access != nil {
+		m.reportRead(off, 1)
+	}
+	return m.data[off]
+}
+
+// writeByte is the one-byte spelling of write, with identical charges and
+// hook behaviour. Selector flips — two per commit — are single-byte stores,
+// and skipping write's slice plumbing and length dispatch is measurable on
+// the commit path. Any armed byte-crash hook falls back to the general
+// tearable loop so countdown semantics stay in one place.
+func (m *Memory) writeByte(idx, off int, b byte) {
+	if m.access != nil || m.crashAfter > 0 {
+		var buf [1]byte
+		buf[0] = b
+		m.write(idx, off, buf[:])
+		return
+	}
+	m.stats.Writes++
+	if idx >= 0 && idx < len(m.allotWear) {
+		m.allotWear[idx]++
+	}
+	if off+1 > m.dirty {
+		m.dirty = off + 1
+	}
+	if m.data[off] != b {
+		w := off &^ 7
+		m.data[off] = b
+		m.foldWord(w, m.word(w))
+	}
+	m.stats.BytesWritten++
+	if m.writeCrashAfter > 0 {
+		m.writeCrashAfter--
+		if m.writeCrashAfter == 0 && m.writeCrashHook != nil {
+			hook := m.writeCrashHook
+			m.writeCrashHook = nil
+			hook()
+		}
+	}
+	if m.observer != nil {
+		m.observer()
+	}
 }
 
 // write stores p at off. idx is the allocation index the write lands in
@@ -344,30 +534,92 @@ func (m *Memory) write(idx, off int, p []byte) {
 		m.writeTearable(off, p)
 	} else {
 		// Fast path: no armed byte-granularity crash, so no store can tear.
-		// Byte-for-byte equivalent to writeTearable — same data, hash, and
-		// final BytesWritten — but scans for differences a word at a time.
+		// Equivalent to writeTearable — same data, hash, and final
+		// BytesWritten — but scans for differences a word at a time and
+		// folds at most one digest update per differing aligned word.
 		// Commit traffic (the bulk of all writes) re-stores mostly-unchanged
-		// images, so nearly all of the work is the SIMD equality check.
-		data := m.data[off : off+len(p)]
+		// images, so nearly all of the work is word compares.
 		switch len(p) {
 		case 1:
-			// Selector flips and status bytes: skip the bytes.Equal call.
-			if old, b := data[0], p[0]; old != b {
-				m.hash ^= mixByte(off, old) ^ mixByte(off, b)
-				data[0] = b
+			// Selector flips and status bytes: patch the containing word.
+			if old, b := m.data[off], p[0]; old != b {
+				w := off &^ 7
+				m.data[off] = b
+				m.foldWord(w, m.word(w))
 			}
 		case 8:
-			// Word-sized stores (Vars, seq counters): one comparison.
-			if binary.LittleEndian.Uint64(data) != binary.LittleEndian.Uint64(p) {
-				for j := 0; j < 8; j++ {
-					if old, b := data[j], p[j]; old != b {
-						m.hash ^= mixByte(off+j, old) ^ mixByte(off+j, b)
-						data[j] = b
-					}
+			if off&7 == 0 {
+				// Aligned word store (Vars, seq counters): one comparison,
+				// two mixes when it changes.
+				old, nw := m.word(off), binary.LittleEndian.Uint64(p)
+				if old != nw {
+					binary.LittleEndian.PutUint64(m.data[off:], nw)
+					m.foldWord(off, nw)
 				}
+			} else {
+				m.writeDiff(off, p)
 			}
 		default:
-			m.writeDiff(off, data, p)
+			m.writeDiff(off, p)
+		}
+		m.stats.BytesWritten += int64(len(p))
+	}
+	if m.writeCrashAfter > 0 {
+		m.writeCrashAfter--
+		if m.writeCrashAfter == 0 && m.writeCrashHook != nil {
+			hook := m.writeCrashHook
+			m.writeCrashHook = nil
+			hook()
+		}
+	}
+	if m.observer != nil {
+		m.observer()
+	}
+}
+
+// writeRanged is write() for a full-image store whose caller can prove
+// that p agrees with the destination outside the byte range [lo, hi):
+// only the aligned words overlapping that range are compared and stored.
+// Every modelled charge is identical to write() with the same arguments —
+// one write op, len(p) bytes of traffic and wear, the same access report,
+// observer call, and crash-hook accounting — only the host-side scan is
+// narrowed. off must be 8-byte aligned (Committed buffers are; see
+// allocRegion), and the range must cover every differing byte, which
+// Committed's dirty tracking guarantees by construction.
+func (m *Memory) writeRanged(idx, off int, p []byte, lo, hi int) {
+	m.stats.Writes++
+	if m.access != nil {
+		m.reportWrite(off, p)
+	}
+	if idx >= 0 && idx < len(m.allotWear) {
+		m.allotWear[idx] += int64(len(p))
+	}
+	if end := off + len(p); end > m.dirty {
+		m.dirty = end
+	}
+	if m.crashAfter > 0 {
+		// An armed byte-granularity crash needs the byte loop regardless;
+		// it stores every byte of p, so the range is irrelevant to it.
+		m.writeTearable(off, p)
+	} else {
+		if lo < hi {
+			wlo := lo &^ 7
+			if hi > len(p) {
+				hi = len(p)
+			}
+			if hi <= wlo+8 && wlo+8 <= len(p) {
+				// The range fits one aligned word — the common case for a
+				// quiet event's commit (only the sequence number changed)
+				// — so skip writeDiff's loop setup entirely.
+				w := off + wlo
+				old := m.word(w)
+				if nw := binary.LittleEndian.Uint64(p[wlo:]); nw != old {
+					binary.LittleEndian.PutUint64(m.data[w:], nw)
+					m.foldWord(w, nw)
+				}
+			} else {
+				m.writeDiff(off+wlo, p[wlo:hi])
+			}
 		}
 		m.stats.BytesWritten += int64(len(p))
 	}
@@ -385,28 +637,46 @@ func (m *Memory) write(idx, off int, p []byte) {
 }
 
 // writeDiff applies the general word-at-a-time difference scan of the
-// untearable fast path.
-func (m *Memory) writeDiff(off int, data, p []byte) {
-	if bytes.Equal(data, p) {
-		return
+// untearable fast path: unchanged aligned words cost one compare, changed
+// ones a store plus two hash mixes. Unaligned heads and partial tails are
+// patched through the word containing them, so the fingerprint stays a pure
+// function of the aligned-word decomposition of the image.
+func (m *Memory) writeDiff(off int, p []byte) {
+	end := off + len(p)
+	w := off &^ 7
+	if off != w {
+		hi := w + 8
+		if hi > end {
+			hi = end
+		}
+		m.patchWord(w, off, hi, p[:hi-off])
+		p = p[hi-off:]
+		w = hi
+		if w&7 != 0 { // hi was end, inside the first word
+			return
+		}
 	}
-	i := 0
-	for ; i+8 <= len(p); i += 8 {
-		if binary.LittleEndian.Uint64(data[i:]) == binary.LittleEndian.Uint64(p[i:]) {
-			continue
+	for ; w+8 <= end; w += 8 {
+		old := m.word(w)
+		nw := binary.LittleEndian.Uint64(p)
+		if old != nw {
+			binary.LittleEndian.PutUint64(m.data[w:], nw)
+			m.foldWord(w, nw)
 		}
-		for j := i; j < i+8; j++ {
-			if old := data[j]; old != p[j] {
-				m.hash ^= mixByte(off+j, old) ^ mixByte(off+j, p[j])
-				data[j] = p[j]
-			}
-		}
+		p = p[8:]
 	}
-	for ; i < len(p); i++ {
-		if old := data[i]; old != p[i] {
-			m.hash ^= mixByte(off+i, old) ^ mixByte(off+i, p[i])
-			data[i] = p[i]
-		}
+	if w < end {
+		m.patchWord(w, w, end, p)
+	}
+}
+
+// patchWord stores p into data[lo:hi] — a span inside the aligned word at w
+// — and swaps the word's old fingerprint contribution for the new one.
+func (m *Memory) patchWord(w, lo, hi int, p []byte) {
+	old := m.word(w)
+	copy(m.data[lo:hi], p)
+	if nw := m.word(w); nw != old {
+		m.foldWord(w, nw)
 	}
 }
 
@@ -417,8 +687,9 @@ func (m *Memory) writeDiff(off int, data, p []byte) {
 func (m *Memory) writeTearable(off int, p []byte) {
 	for i, b := range p {
 		if old := m.data[off+i]; old != b {
-			m.hash ^= mixByte(off+i, old) ^ mixByte(off+i, b)
+			w := (off + i) &^ 7
 			m.data[off+i] = b
+			m.foldWord(w, m.word(w))
 		}
 		m.stats.BytesWritten++
 		if m.crashAfter > 0 {
@@ -457,10 +728,9 @@ func (m *Memory) FlipBit(off int, bit uint) {
 	if bit > 7 {
 		panic(fmt.Sprintf("nvm: bit index %d out of range", bit))
 	}
-	old := m.data[off]
-	flipped := old ^ (1 << bit)
-	m.hash ^= mixByte(off, old) ^ mixByte(off, flipped)
-	m.data[off] = flipped
+	w := off &^ 7
+	m.data[off] ^= 1 << bit
+	m.foldWord(w, m.word(w))
 	if off+1 > m.dirty {
 		m.dirty = off + 1
 	}
@@ -477,18 +747,29 @@ func (m *Memory) FlipBit(off int, bit uint) {
 // for comparison against other Hash values from the same process.
 func (m *Memory) Hash() uint64 { return m.hash }
 
-// mixByte maps one (position, byte) pair to its contribution to the
-// image fingerprint. The hash is the XOR of mixByte over all positions;
-// storing a byte replaces the old contribution with the new one via two
-// XORs. mixByte(off, 0) == 0 by construction, so a zeroed Memory hashes
-// to 0 without an initialisation pass. Nonzero inputs go through a
-// splitmix64-style finaliser so single-bit differences in position or
-// value diffuse across the word.
-func mixByte(off int, b byte) uint64 {
-	if b == 0 {
+// mixWord maps one (aligned offset, 8-byte word) pair to its contribution
+// to the image fingerprint. The hash is the XOR of mixWord over the image's
+// aligned-word decomposition; storing into a word replaces its old
+// contribution with the new one via two XORs — one digest fold per
+// differing word, however many of its bytes changed. mixWord(off, 0) == 0
+// by construction, so a zeroed Memory hashes to 0 without an initialisation
+// pass. Nonzero words go through a splitmix64-style finaliser so single-bit
+// differences in position or value diffuse across the result.
+// foldWord swaps the aligned word w's digest contribution for that of its
+// new value nw (already stored by the caller), reading the stale side from
+// the contrib cache instead of re-hashing the old word.
+func (m *Memory) foldWord(w int, nw uint64) {
+	nc := mixWord(w, nw)
+	i := w >> 3
+	m.hash ^= m.contrib[i] ^ nc
+	m.contrib[i] = nc
+}
+
+func mixWord(off int, w uint64) uint64 {
+	if w == 0 {
 		return 0
 	}
-	x := uint64(off)<<8 | uint64(b)
+	x := w ^ (uint64(off)*0x9e3779b97f4a7c15 + 0xd6e8feb86659fd93)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -501,8 +782,8 @@ func mixByte(off int, b byte) uint64 {
 // it to cross-check the incremental maintenance.
 func (m *Memory) recomputeHash() uint64 {
 	var h uint64
-	for off, b := range m.data {
-		h ^= mixByte(off, b)
+	for w := 0; w < len(m.data); w += 8 {
+		h ^= mixWord(w, m.word(w))
 	}
 	return h
 }
@@ -545,11 +826,20 @@ func (r *Region) Owner() string { return r.owner }
 // Name returns the variable name of the region.
 func (r *Region) Name() string { return r.name }
 
+// check bounds one access; the panic construction is outlined into
+// checkFail so check itself stays within the inlining budget — region
+// accessors sit on the simulation's innermost loop and the call overhead
+// of a non-inlined bounds check is measurable there.
 func (r *Region) check(off, n int) {
 	if off < 0 || n < 0 || off+n > r.size {
-		panic(fmt.Sprintf("nvm: access [%d,%d) out of region %s/%s size %d",
-			off, off+n, r.owner, r.name, r.size))
+		r.checkFail(off, n)
 	}
+}
+
+//go:noinline
+func (r *Region) checkFail(off, n int) {
+	panic(fmt.Sprintf("nvm: access [%d,%d) out of region %s/%s size %d",
+		off, off+n, r.owner, r.name, r.size))
 }
 
 // Read copies region bytes [off, off+len(p)) into p.
@@ -619,16 +909,14 @@ func (r *Region) WriteUint64(off int, v uint64) {
 // ByteAt reads one byte.
 func (r *Region) ByteAt(off int) byte {
 	r.check(off, 1)
-	return r.mem.read(r.off+off, 1)[0]
+	return r.mem.readByte(r.off + off)
 }
 
 // SetByteAt persists one byte. Single-byte writes are the atomic primitive
 // of the FRAM model; Committed uses one as its commit point.
 func (r *Region) SetByteAt(off int, b byte) {
 	r.check(off, 1)
-	var buf [1]byte
-	buf[0] = b
-	r.mem.write(r.idx, r.off+off, buf[:])
+	r.mem.writeByte(r.idx, r.off+off, b)
 }
 
 // Word is the set of fixed-width scalar types storable in a Var.
@@ -641,12 +929,12 @@ type Word interface {
 // crash hook (real multi-byte FRAM stores are not atomic either), which is
 // why multi-variable consistency goes through Committed.
 type Var[T Word] struct {
-	r *Region
+	r Region
 }
 
 // AllocVar reserves a persistent variable in m.
 func AllocVar[T Word](m *Memory, owner, name string) (*Var[T], error) {
-	r, err := m.Alloc(owner, name, 8)
+	r, err := m.allocRegion(owner, name, 8)
 	if err != nil {
 		return nil, err
 	}
@@ -770,11 +1058,28 @@ func decodeNamed[T Word](bits uint64) T {
 // The staging buffer is volatile: it models the SRAM working copy and is
 // discarded by Reopen after a power failure.
 type Committed struct {
-	a, b  *Region
-	sel   *Region
-	stage []byte
-	size  int
-	group *CommitGroup
+	// a, b, and ownSel are embedded by value: a committed region is three
+	// allocations but one heap object. sel points at ownSel until Join
+	// repoints it at a group's shared selector.
+	a, b   Region
+	ownSel Region
+	sel    *Region
+	stage  []byte
+	size   int
+	group  *CommitGroup
+
+	// Dirty-range tracking: host-side bookkeeping that lets Commit prove
+	// where a buffer can differ from the stage, so the shadow write scans
+	// only that byte range (writeRanged) instead of the whole image. The
+	// ranges are conservative supersets — bookkeeping interrupted by a
+	// crash hook leaves them larger, never smaller — and carry no modelled
+	// semantics. An empty range is lo >= hi.
+	//
+	//   stLo, stHi      bytes staged since the last commit or reopen
+	//   pdLo/pdHi[i]    bytes where buffer i (0=a, 1=b) may differ from
+	//                   the stage beyond the staged range
+	stLo, stHi int
+	pdLo, pdHi [2]int
 
 	// preCommit, when non-nil, runs at the start of every commit involving
 	// this region — before any shadow-buffer write, whether the commit is
@@ -784,23 +1089,47 @@ type Committed struct {
 	preCommit func()
 }
 
+// committedHeader carves a zeroed Committed header from the memory's chunk
+// arena (see the commChunks field).
+func (m *Memory) committedHeader() *Committed {
+	if n := len(m.commChunks); n == 0 || len(m.commChunks[n-1]) == cap(m.commChunks[n-1]) {
+		m.commChunks = append(m.commChunks, make([]Committed, 0, 16))
+	}
+	ch := &m.commChunks[len(m.commChunks)-1]
+	*ch = append(*ch, Committed{})
+	return &(*ch)[len(*ch)-1]
+}
+
 // AllocCommitted reserves a committed region of the given payload size.
 func AllocCommitted(m *Memory, owner, name string, size int) (*Committed, error) {
-	a, err := m.Alloc(owner, name+".a", size)
-	if err != nil {
+	c := m.committedHeader()
+	c.size = size
+	var err error
+	if c.a, err = m.allocRegion(owner, name+".a", size); err != nil {
 		return nil, err
 	}
-	b, err := m.Alloc(owner, name+".b", size)
-	if err != nil {
+	if c.b, err = m.allocRegion(owner, name+".b", size); err != nil {
 		return nil, err
 	}
-	sel, err := m.Alloc(owner, name+".sel", 1)
-	if err != nil {
+	if c.ownSel, err = m.allocRegion(owner, name+".sel", 1); err != nil {
 		return nil, err
 	}
-	c := &Committed{a: a, b: b, sel: sel, size: size, stage: make([]byte, size)}
+	c.sel = &c.ownSel
+	c.stage = m.stageBuf(size)
+	c.stLo, c.stHi = size, 0
+	c.pdLo[0], c.pdLo[1] = size, size
 	c.Reopen()
 	return c, nil
+}
+
+// mark widens the staged dirty range to cover [off, off+n).
+func (c *Committed) mark(off, n int) {
+	if off < c.stLo {
+		c.stLo = off
+	}
+	if off+n > c.stHi {
+		c.stHi = off + n
+	}
 }
 
 // MustAllocCommitted panics on allocation failure.
@@ -825,23 +1154,53 @@ func (c *Committed) SetPreCommit(fn func()) { c.preCommit = fn }
 
 func (c *Committed) current() *Region {
 	if c.sel.ByteAt(0) == 0 {
-		return c.a
+		return &c.a
 	}
-	return c.b
+	return &c.b
 }
 
 func (c *Committed) shadow() *Region {
 	if c.sel.ByteAt(0) == 0 {
-		return c.b
+		return &c.b
 	}
-	return c.a
+	return &c.a
 }
 
 // Reopen reloads the staging buffer from the last committed image. The
 // runtime calls this on every reboot; it is what "rolling back task
 // modifications" means in the task model.
 func (c *Committed) Reopen() {
-	c.current().Read(0, c.stage)
+	cur := 0
+	r := &c.a
+	if c.sel.ByteAt(0) != 0 {
+		cur, r = 1, &c.b
+	}
+	r.Read(0, c.stage)
+	c.reopenRanges(cur)
+}
+
+// reopenRanges rebases the dirty tracking after the stage was reloaded from
+// buffer cur: the stage now equals cur exactly, and the other buffer may
+// differ wherever any range recorded a change — fold everything into its
+// pending range.
+func (c *Committed) reopenRanges(cur int) {
+	sh := 1 - cur
+	lo, hi := c.pdLo[sh], c.pdHi[sh]
+	if c.pdLo[cur] < lo {
+		lo = c.pdLo[cur]
+	}
+	if c.pdHi[cur] > hi {
+		hi = c.pdHi[cur]
+	}
+	if c.stLo < lo {
+		lo = c.stLo
+	}
+	if c.stHi > hi {
+		hi = c.stHi
+	}
+	c.pdLo[sh], c.pdHi[sh] = lo, hi
+	c.pdLo[cur], c.pdHi[cur] = c.size, 0
+	c.stLo, c.stHi = c.size, 0
 }
 
 // ReadCommitted copies the last committed image (not the stage) into p,
@@ -864,9 +1223,9 @@ func (c *Committed) PeekCommitted(p []byte) {
 	if len(p) > c.size {
 		panic(fmt.Sprintf("nvm: committed-image peek of %d bytes out of size %d", len(p), c.size))
 	}
-	r := c.a
+	r := &c.a
 	if c.sel.mem.data[c.sel.off] != 0 {
-		r = c.b
+		r = &c.b
 	}
 	copy(p, r.mem.data[r.off:r.off+len(p)])
 }
@@ -893,6 +1252,10 @@ func (c *Committed) InitImages(p []byte) {
 	c.a.Write(0, p)
 	c.b.Write(0, p)
 	copy(c.stage, p)
+	// Both buffers now equal the stage: no byte can differ anywhere.
+	c.pdLo[0], c.pdHi[0] = c.size, 0
+	c.pdLo[1], c.pdHi[1] = c.size, 0
+	c.stLo, c.stHi = c.size, 0
 }
 
 // Read copies staged bytes (committed image plus any uncommitted writes).
@@ -909,24 +1272,42 @@ func (c *Committed) Write(off int, p []byte) {
 		panic(fmt.Sprintf("nvm: committed write [%d,%d) out of size %d", off, off+len(p), c.size))
 	}
 	copy(c.stage[off:], p)
+	c.mark(off, len(p))
 }
 
 // ReadUint64 reads a staged little-endian uint64. It goes straight to the
 // stage (volatile SRAM, uncharged) rather than through Read's copy loop:
 // the monitor engine reads every variable word through here on each step.
+// Like WriteUint64, out-of-range offsets panic through the stage slice's
+// own bounds check rather than an explicit one, keeping the accessor well
+// inside the inlining budget.
 func (c *Committed) ReadUint64(off int) uint64 {
-	if off < 0 || off+8 > c.size {
-		panic(fmt.Sprintf("nvm: committed read [%d,%d) out of size %d", off, off+8, c.size))
-	}
 	return binary.LittleEndian.Uint64(c.stage[off:])
 }
 
-// WriteUint64 stages a little-endian uint64.
+// WriteUint64 stages a little-endian uint64. Out-of-range offsets panic
+// through the stage slice's own bounds check (len(stage) == size); the
+// explicit check with the prettier message would push this accessor past
+// the inlining budget, and it sits on the engine's hottest store path.
+//
+// A store of the word already staged is dropped entirely: the stage holds
+// the same bytes either way, so durability is unaffected — staging is the
+// volatile SRAM copy, nothing is charged until commit — and not widening
+// the dirty range keeps the commit scan away from words that cannot have
+// changed. Machines re-stage their state word on every step and their
+// verdict count on every event; both are usually unchanged, and skipping
+// them typically shrinks a quiet event's commit scan to a single word.
 func (c *Committed) WriteUint64(off int, v uint64) {
-	if off < 0 || off+8 > c.size {
-		panic(fmt.Sprintf("nvm: committed write [%d,%d) out of size %d", off, off+8, c.size))
+	if binary.LittleEndian.Uint64(c.stage[off:]) == v {
+		return
 	}
 	binary.LittleEndian.PutUint64(c.stage[off:], v)
+	if off < c.stLo {
+		c.stLo = off
+	}
+	if off+8 > c.stHi {
+		c.stHi = off + 8
+	}
 }
 
 // Commit atomically persists the staged image: the shadow buffer receives
@@ -941,8 +1322,37 @@ func (c *Committed) Commit() {
 	if c.preCommit != nil {
 		c.preCommit()
 	}
-	c.shadow().Write(0, c.stage)
+	c.syncShadow()
 	flipSel(c.sel)
+}
+
+// syncShadow writes the staged image into the shadow buffer, narrowed by
+// the dirty tracking: only the byte range staged since the shadow last
+// synced is scanned. Charges are identical to a full
+// shadow().Write(0, c.stage) — one selector read, one write op of the full
+// image. The bookkeeping runs after the write so a crash hook that panics
+// mid-store leaves the ranges as supersets, never missing a byte.
+func (c *Committed) syncShadow() {
+	sh, t, o := &c.b, 1, 0
+	if c.sel.ByteAt(0) != 0 {
+		sh, t, o = &c.a, 0, 1
+	}
+	lo, hi := c.stLo, c.stHi
+	if c.pdLo[t] < lo {
+		lo = c.pdLo[t]
+	}
+	if c.pdHi[t] > hi {
+		hi = c.pdHi[t]
+	}
+	sh.mem.writeRanged(sh.idx, sh.off, c.stage, lo, hi)
+	c.pdLo[t], c.pdHi[t] = c.size, 0
+	if c.stLo < c.pdLo[o] {
+		c.pdLo[o] = c.stLo
+	}
+	if c.stHi > c.pdHi[o] {
+		c.pdHi[o] = c.stHi
+	}
+	c.stLo, c.stHi = c.size, 0
 }
 
 func flipSel(sel *Region) {
@@ -975,18 +1385,19 @@ func flipSel(sel *Region) {
 // points where the store's stage equals its committed image or holds the
 // finished task's outputs.
 type CommitGroup struct {
-	sel      *Region
+	sel      Region
 	members  []*Committed
 	onCommit func()
 }
 
 // NewCommitGroup allocates the shared selector for a commit group.
 func NewCommitGroup(m *Memory, owner, name string) (*CommitGroup, error) {
-	sel, err := m.Alloc(owner, name+".sel", 1)
-	if err != nil {
+	g := &CommitGroup{}
+	var err error
+	if g.sel, err = m.allocRegion(owner, name+".sel", 1); err != nil {
 		return nil, err
 	}
-	return &CommitGroup{sel: sel}, nil
+	return g, nil
 }
 
 // MustNewCommitGroup is NewCommitGroup that panics on allocation failure.
@@ -1010,9 +1421,9 @@ func (g *CommitGroup) Commit() {
 		}
 	}
 	for _, c := range g.members {
-		c.shadow().Write(0, c.stage)
+		c.syncShadow()
 	}
-	flipSel(g.sel)
+	flipSel(&g.sel)
 	if g.onCommit != nil {
 		g.onCommit()
 	}
@@ -1031,7 +1442,7 @@ func (g *CommitGroup) SetObserver(fn func()) { g.onCommit = fn }
 // policy; it is only sound when the shadow images themselves verify, since
 // a crash mid-commit can leave shadows torn.
 func (g *CommitGroup) Revert() {
-	flipSel(g.sel)
+	flipSel(&g.sel)
 }
 
 // Members returns the regions coupled to this group's selector, in join
@@ -1044,11 +1455,36 @@ func (g *CommitGroup) Members() []*Committed { return g.members }
 // the group (and c.Commit() commits the whole group). Join is meant for
 // construction time, before any uncommitted writes are staged.
 func (c *Committed) Join(g *CommitGroup) {
-	img := make([]byte, c.size)
+	// The duplication buffer comes from the image's staging arena (Join is
+	// construction-time, so occupying arena space for its duration is fine);
+	// the stage itself is left untouched because callers may already have
+	// staged writes for the group's first commit.
+	img := c.a.mem.stageBuf(c.size)
 	c.current().Read(0, img)
 	c.a.Write(0, img)
 	c.b.Write(0, img)
-	c.sel = g.sel
+	c.joinRanges()
+	c.sel = &g.sel
 	c.group = g
 	g.members = append(g.members, c)
+}
+
+// joinRanges rebases the dirty tracking after Join duplicated one image
+// into both buffers: either buffer may now differ from the stage wherever
+// any range recorded a change, so both pending ranges become the union of
+// everything tracked (the staged range folds in and resets; later staged
+// writes re-dirty it).
+func (c *Committed) joinRanges() {
+	lo, hi := c.stLo, c.stHi
+	for i := 0; i < 2; i++ {
+		if c.pdLo[i] < lo {
+			lo = c.pdLo[i]
+		}
+		if c.pdHi[i] > hi {
+			hi = c.pdHi[i]
+		}
+	}
+	c.pdLo[0], c.pdHi[0] = lo, hi
+	c.pdLo[1], c.pdHi[1] = lo, hi
+	c.stLo, c.stHi = c.size, 0
 }

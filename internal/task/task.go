@@ -158,8 +158,12 @@ type Persistent interface {
 // Store is the persistent task-output store: named float64 slots staged in
 // SRAM and committed to FRAM atomically at task boundaries.
 type Store struct {
-	c     *nvm.Committed
-	slots map[string]int
+	c *nvm.Committed
+	// keys holds the slot names in declaration order; slot i lives at byte
+	// offset i*8. Stores are small (a handful of outputs), so a linear
+	// scan resolves a name faster than a map lookup — no hashing — and
+	// construction allocates one slice instead of a map.
+	keys []string
 }
 
 // NewStore allocates a store with the given slot names in mem.
@@ -167,35 +171,42 @@ func NewStore(mem *nvm.Memory, owner string, keys []string) (*Store, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("task: store needs at least one slot")
 	}
-	slots := make(map[string]int, len(keys))
 	for i, k := range keys {
 		if k == "" {
 			return nil, fmt.Errorf("task: empty slot name at %d", i)
 		}
-		if _, dup := slots[k]; dup {
-			return nil, fmt.Errorf("task: duplicate slot %q", k)
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return nil, fmt.Errorf("task: duplicate slot %q", k)
+			}
 		}
-		slots[k] = i * 8
 	}
 	c, err := nvm.AllocCommitted(mem, owner, "store", len(keys)*8)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{c: c, slots: slots}, nil
+	ks := make([]string, len(keys))
+	copy(ks, keys)
+	return &Store{c: c, keys: ks}, nil
 }
 
 // Has reports whether the store defines the slot.
 func (s *Store) Has(key string) bool {
-	_, ok := s.slots[key]
-	return ok
+	for _, k := range s.keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Store) offset(key string) int {
-	off, ok := s.slots[key]
-	if !ok {
-		panic(fmt.Sprintf("task: undefined store slot %q", key))
+	for i, k := range s.keys {
+		if k == key {
+			return i * 8
+		}
 	}
-	return off
+	panic(fmt.Sprintf("task: undefined store slot %q", key))
 }
 
 // Get reads a slot's staged value.
