@@ -11,8 +11,10 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"github.com/tinysystems/artemis-go/internal/core"
 	"github.com/tinysystems/artemis-go/internal/experiments"
 	"github.com/tinysystems/artemis-go/internal/fleet"
+	"github.com/tinysystems/artemis-go/internal/fleetserver"
 	"github.com/tinysystems/artemis-go/internal/freshness"
 	"github.com/tinysystems/artemis-go/internal/health"
 	"github.com/tinysystems/artemis-go/internal/ir"
@@ -522,4 +525,99 @@ func BenchmarkAblationThreadedMonitor(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetServerSteps measures the fleet serving layer end to end:
+// one server-driven fleet step per op over 16 heterogeneous devices —
+// reshard bookkeeping, queue handoff, the engine step, and the stats
+// fold-back. The digest is checked against a serial reference server so
+// the benchmark re-proves scheduling-independence of the serving layer on
+// every run; device-steps/sec is the fleet-serving throughput headline.
+func BenchmarkFleetServerSteps(b *testing.B) {
+	const devices = 16
+	seed := func(workers int) *fleetserver.Server {
+		b.Helper()
+		s, err := fleetserver.New(fleetserver.Config{Shards: 8, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := s.SpecNames()
+		for i := 0; i < devices; i++ {
+			if _, err := s.Register(fmt.Sprintf("dev-%d", i), specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	ref := seed(1)
+	if _, err := ref.StepOnce(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range fleetWorkerLadder() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := seed(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.StepOnce(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s.Steps() == 1 && s.Digest() != ref.Digest() {
+				b.Fatalf("workers=%d digest %#x diverged from serial %#x", w, s.Digest(), ref.Digest())
+			}
+			b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "device-steps/sec")
+		})
+	}
+}
+
+// BenchmarkFleetServerIngest measures batched event ingestion through the
+// HTTP handler: one POST /v1/events:batch of 16 events per op, stepping the
+// fleet to drain whenever backpressure answers 429. events/sec is the
+// ingest throughput headline.
+func BenchmarkFleetServerIngest(b *testing.B) {
+	s, err := fleetserver.New(fleetserver.Config{Shards: 4, QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const devices, batch = 8, 16
+	for i := 0; i < devices; i++ {
+		if _, err := s.Register(fmt.Sprintf("dev-%d", i), "health"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var body bytes.Buffer
+	body.WriteString(`{"events":[`)
+	for i := 0; i < batch; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, `{"device":"dev-%d","kind":"start","task":"send"}`, i%devices)
+	}
+	body.WriteString(`]}`)
+	payload := body.Bytes()
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/events:batch", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code == 429 {
+			b.StopTimer()
+			if _, err := s.StepOnce(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			req = httptest.NewRequest("POST", "/v1/events:batch", bytes.NewReader(payload))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+		}
+		if rec.Code != 200 {
+			b.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }

@@ -92,8 +92,8 @@ func run(args []string, w io.Writer) (err error) {
 		swapAt   = fs.Uint64("swap-at", 2, "runtime event sequence number after which the OTA transfer starts (with -swap-spec)")
 		swapLoss = fs.Float64("swap-chunk-loss", 0, "per-attempt drop probability on the OTA transfer link (with -swap-spec)")
 		freshStr = fs.String("freshness-bound", "", "override the accel->send staleness bound (e.g. 8m; with -system ocelot)")
-		fleetN   = fs.Int("fleet", 0, "host a fleet of N heterogeneous devices on the sharded stepping engine; 0 = single-device mode")
-		shards   = fs.Int("shards", 0, "fleet shards (with -fleet); 0 = one per CPU; results are identical at any count")
+		fleetN   = fs.Int("fleet", 0, "host a fleet of N heterogeneous devices on the sharded stepping engine; 0 = single-device mode. The report's digest line is the determinism anchor: byte-identical at any -shards/-workers combination")
+		shards   = fs.Int("shards", 0, "fleet shards (with -fleet); 0 = one per CPU; the digest line is identical at any count")
 		fleetStp = fs.Int("fleet-steps", 1, "fleet steps to run (with -fleet); each step runs every device once")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -161,7 +161,7 @@ func run(args []string, w io.Writer) (err error) {
 	if *fleetN < 0 {
 		return fmt.Errorf("-fleet %d: must be >= 0 (0 = single-device mode)", *fleetN)
 	}
-	if (*shards != 0 || explicit["fleet-steps"]) && *fleetN == 0 {
+	if (explicit["shards"] || explicit["fleet-steps"]) && *fleetN == 0 {
 		return fmt.Errorf("-shards and -fleet-steps configure the -fleet engine; add -fleet N")
 	}
 	if *fleetN > 0 {

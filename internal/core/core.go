@@ -298,6 +298,9 @@ type Framework struct {
 	// would then push an in-use image back into the pool. This flag pins
 	// idempotence to the handle the caller actually holds.
 	released bool
+	// injected counts events delivered through InjectEvent, so external
+	// sequence numbers keep advancing past the runtime's persistent counter.
+	injected uint64
 }
 
 // New assembles a deployment.
@@ -648,6 +651,49 @@ func (f *Framework) Monitors() *monitor.Set {
 		return f.otaMgr.ActiveSet()
 	}
 	return f.mons
+}
+
+// InjectEvent delivers one externally-sourced event to the ACTIVE monitor
+// set (ARTEMIS only): the fleet-scale ingestion hook. A monitoring server
+// hosts monitor replicas for devices in the field; events its devices report
+// over the network are evaluated host-side through this method, so no
+// simulated device energy is charged — the device already paid its radio
+// cost when it transmitted (§7 "Implementation Alternatives" scaled out).
+//
+// The event is stamped with the device's persistent clock, its current path
+// and remaining supply energy, and a sequence number past everything the
+// runtime has delivered, so injection composes with the replay-idempotence
+// machinery instead of aliasing committed verdicts. The returned failures
+// are a copy (safe to retain); the decision is the arbitrated corrective
+// action the runtime would execute for them.
+func (f *Framework) InjectEvent(kind ir.EventKind, taskName string, data float64) ([]ir.Failure, monitor.Decision, error) {
+	if f.art == nil {
+		return nil, monitor.Decision{}, errors.New("core: InjectEvent requires the ARTEMIS runtime")
+	}
+	snap := f.art.Snapshot()
+	path := snap.PathID
+	if path < 0 {
+		path = 0
+	}
+	f.injected++
+	ev := monitor.Event{
+		Seq: snap.EventSeq + f.injected,
+		Event: ir.Event{
+			Kind:   kind,
+			Task:   taskName,
+			Time:   f.mcu.Now(),
+			Path:   path,
+			Data:   data,
+			Energy: float64(f.mcu.EnergyLevel()) * 1e6,
+		},
+	}
+	fs, err := f.Monitors().Deliver(ev)
+	if err != nil {
+		return nil, monitor.Decision{}, err
+	}
+	out := make([]ir.Failure, len(fs))
+	copy(out, fs) // Deliver's slice aliases the set's scratch
+	return out, monitor.Decide(out, path), nil
 }
 
 // OTA returns the reprogramming manager, or nil when no swap is configured.

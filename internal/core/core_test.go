@@ -453,7 +453,7 @@ func TestReleaseIdempotent(t *testing.T) {
 	f1 := build()
 	f1.Release()
 	f2 := build() // may recycle f1's image, clearing its Memory-level guard
-	f1.Release() // stale handle: must be a no-op
+	f1.Release()  // stale handle: must be a no-op
 	f3 := build()
 	if f2.MCU().Mem == f3.MCU().Mem {
 		t.Fatal("double Release leaked an in-use image back into the pool")

@@ -46,7 +46,7 @@ const DefaultMemBytes = 256 * 1024
 
 // Config sizes an engine.
 type Config struct {
-	// Devices is the fleet size. Required.
+	// Devices is the fleet size. Required unless Members is set.
 	Devices int
 	// Shards is the number of device groups stepped as units; <= 0 means
 	// min(Devices, GOMAXPROCS). The shard count never changes results,
@@ -56,10 +56,35 @@ type Config struct {
 	// CPU. Like Shards, it never changes results.
 	Workers int
 	// Cases is the deployment mix; device i runs Cases[i % len(Cases)].
-	// Nil means examplespecs.All().
+	// Nil means examplespecs.All(). Ignored when Members is set.
 	Cases []examplespecs.Case
+	// Members, when non-nil, places an explicit device list instead of the
+	// Devices/Cases round-robin: device i is Members[i], keeping its given
+	// name. This is the dynamic-membership hook the fleet server uses — it
+	// rebuilds (reshards) an engine from its registry snapshot whenever
+	// devices come or go, and the per-device digest independence means a
+	// frozen member list reproduces the same digests at any Shards/Workers.
+	Members []Member
 	// MemBytes is the per-device image size; 0 means DefaultMemBytes.
 	MemBytes int
+	// PostRun, when non-nil, observes every completed device run while the
+	// framework and its FRAM image are still alive — after Framework.Run,
+	// before the outcome digest folds the image hash and the image returns
+	// to the shard pool. Within a shard it is called sequentially in
+	// device-index order (the engine's deterministic drain order); distinct
+	// shards call it concurrently, so the hook must only touch per-index
+	// state or synchronise. State the hook mutates through the framework
+	// (e.g. events injected via core.Framework.InjectEvent) lands in the
+	// image before the hash is taken, so it is digest-covered. A non-nil
+	// error aborts the fleet step like a device failure.
+	PostRun func(index int, name string, f *core.Framework, rep *core.Report) error
+}
+
+// Member is one explicitly-placed fleet device: a display name plus the
+// example deployment it runs.
+type Member struct {
+	Name string
+	Case examplespecs.Case
 }
 
 // device is one fleet member: a case binding plus the per-case compiled
@@ -82,6 +107,9 @@ type shard struct {
 	digests []uint64
 	// stats accumulates across steps; read back via Engine.ShardStats.
 	stats telemetry.FleetShard
+	// post is Config.PostRun; called sequentially in device-index order
+	// within the shard.
+	post func(index int, name string, f *core.Framework, rep *core.Report) error
 }
 
 // Engine hosts the fleet.
@@ -100,67 +128,90 @@ type Engine struct {
 // specification, so per-step construction skips the spec parse + transform
 // for every device that shares the case (the same sharing sweeps use).
 func New(cfg Config) (*Engine, error) {
-	if cfg.Devices <= 0 {
-		return nil, fmt.Errorf("fleet: Devices must be positive, got %d", cfg.Devices)
+	members := cfg.Members
+	if members == nil {
+		if cfg.Devices <= 0 {
+			return nil, fmt.Errorf("fleet: Devices must be positive, got %d", cfg.Devices)
+		}
+		cases := cfg.Cases
+		if cases == nil {
+			cases = examplespecs.All()
+		}
+		if len(cases) == 0 {
+			return nil, fmt.Errorf("fleet: empty case list")
+		}
+		members = make([]Member, cfg.Devices)
+		for i := range members {
+			c := cases[i%len(cases)]
+			members[i] = Member{Name: fmt.Sprintf("%s#%d", c.Name, i), Case: c}
+		}
+	} else {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("fleet: empty member list")
+		}
+		if cfg.Devices != 0 && cfg.Devices != len(members) {
+			return nil, fmt.Errorf("fleet: Devices=%d conflicts with %d Members", cfg.Devices, len(members))
+		}
 	}
-	cases := cfg.Cases
-	if cases == nil {
-		cases = examplespecs.All()
-	}
-	if len(cases) == 0 {
-		return nil, fmt.Errorf("fleet: empty case list")
-	}
+	devices := len(members)
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if shards > cfg.Devices {
-		shards = cfg.Devices
+	if shards > devices {
+		shards = devices
 	}
 	memBytes := cfg.MemBytes
 	if memBytes <= 0 {
 		memBytes = DefaultMemBytes
 	}
 
-	// One compiled monitor program per case, shared by all its devices: a
-	// transform.Result is immutable and safe to reuse across topology-
-	// identical graphs, which fresh Config() calls produce by construction.
-	compiled := make([]*transform.Result, len(cases))
-	for i, c := range cases {
-		probe, err := c.Config()
+	// One compiled monitor program per distinct case, shared by all its
+	// devices: a transform.Result is immutable and safe to reuse across
+	// topology-identical graphs, which fresh Config() calls produce by
+	// construction.
+	compiled := make(map[string]*transform.Result, 8)
+	probed := make(map[string]bool, 8)
+	for _, m := range members {
+		if probed[m.Case.Name] {
+			continue
+		}
+		probed[m.Case.Name] = true
+		probe, err := m.Case.Config()
 		if err != nil {
-			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+			return nil, fmt.Errorf("fleet: case %s: %w", m.Case.Name, err)
 		}
 		if probe.System != core.Artemis || probe.SpecSource == "" || probe.Graph == nil {
 			continue // camera-style BuildApp cases compile per run
 		}
 		s, err := spec.Parse(probe.SpecSource)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+			return nil, fmt.Errorf("fleet: case %s: %w", m.Case.Name, err)
 		}
-		compiled[i], err = transform.Compile(s, transform.Options{Graph: probe.Graph, DataVars: probe.StoreKeys})
+		compiled[m.Case.Name], err = transform.Compile(s, transform.Options{Graph: probe.Graph, DataVars: probe.StoreKeys})
 		if err != nil {
-			return nil, fmt.Errorf("fleet: case %s: %w", c.Name, err)
+			return nil, fmt.Errorf("fleet: case %s: %w", m.Case.Name, err)
 		}
 	}
 
-	e := &Engine{workers: cfg.Workers, devices: cfg.Devices}
+	e := &Engine{workers: cfg.Workers, devices: devices}
 	for s := 0; s < shards; s++ {
-		lo := s * cfg.Devices / shards
-		hi := (s + 1) * cfg.Devices / shards
+		lo := s * devices / shards
+		hi := (s + 1) * devices / shards
 		sh := &shard{
 			index:   s,
 			devices: make([]device, 0, hi-lo),
 			pool:    nvm.NewPool(memBytes),
 			digests: make([]uint64, hi-lo),
+			post:    cfg.PostRun,
 		}
 		for i := lo; i < hi; i++ {
-			c := cases[i%len(cases)]
+			m := members[i]
 			sh.devices = append(sh.devices, device{
 				index:    i,
-				name:     fmt.Sprintf("%s#%d", c.Name, i),
-				build:    c.Config,
-				compiled: compiled[i%len(cases)],
+				name:     m.Name,
+				build:    m.Case.Config,
+				compiled: compiled[m.Case.Name],
 			})
 		}
 		sh.stats = telemetry.FleetShard{Shard: s, Devices: len(sh.devices)}
@@ -210,6 +261,53 @@ func (e *Engine) Step(ctx context.Context) (StepResult, error) {
 	}
 	e.steps++
 	return StepResult{DeviceSteps: e.devices, Digest: e.digest}, nil
+}
+
+// DeviceInfo describes one hosted device's placement.
+type DeviceInfo struct {
+	// Index is the device's fleet-wide index (digest fold order).
+	Index int
+	// Name is the device's display name (Member.Name, or the generated
+	// case#index name in round-robin mode).
+	Name string
+	// Shard is the shard the device is stepped on.
+	Shard int
+	// LastDigest is the device's outcome digest from the most recent
+	// completed step (zero before the first step).
+	LastDigest uint64
+}
+
+// Snapshot reports the engine's composition and cumulative position: every
+// device with its shard placement and last outcome digest, plus the step
+// and digest counters. The fleet server renders registry views from it and
+// tests freeze it to assert scheduling-independence.
+//
+// Snapshot must not run concurrently with Step: the per-device digests it
+// reads are the shards' step scratch.
+type Snapshot struct {
+	Steps   uint64
+	Digest  uint64
+	Devices []DeviceInfo
+}
+
+// Snapshot captures the current composition; see the Snapshot type.
+func (e *Engine) Snapshot() Snapshot {
+	snap := Snapshot{
+		Steps:   e.steps,
+		Digest:  e.digest,
+		Devices: make([]DeviceInfo, 0, e.devices),
+	}
+	for _, sh := range e.shards {
+		for i := range sh.devices {
+			d := &sh.devices[i]
+			info := DeviceInfo{Index: d.index, Name: d.name, Shard: sh.index}
+			if e.steps > 0 {
+				info.LastDigest = sh.digests[i]
+			}
+			snap.Devices = append(snap.Devices, info)
+		}
+	}
+	return snap
 }
 
 // ShardStats snapshots every shard's cumulative counters, in shard order.
@@ -266,6 +364,14 @@ func (sh *shard) stepDevice(d *device) (uint64, error) {
 	if err != nil {
 		sh.pool.Put(mem)
 		return 0, fmt.Errorf("fleet: %s: %w", d.name, err)
+	}
+	if sh.post != nil {
+		// The hook sees the live framework before the hash below, so any
+		// monitor state it mutates (injected events) is digest-covered.
+		if err := sh.post(d.index, d.name, f, rep); err != nil {
+			sh.pool.Put(mem)
+			return 0, fmt.Errorf("fleet: %s: %w", d.name, err)
+		}
 	}
 
 	// The digest covers the final FRAM image (the memory's incremental

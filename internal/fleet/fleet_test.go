@@ -3,9 +3,14 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
+
+	"github.com/tinysystems/artemis-go/internal/core"
+	"github.com/tinysystems/artemis-go/internal/examplespecs"
+	"github.com/tinysystems/artemis-go/internal/ir"
 )
 
 // TestFleetDigestDeterminism is the engine's core contract: the cumulative
@@ -118,6 +123,134 @@ func TestFleetMetricsOutput(t *testing.T) {
 	}
 }
 
+// TestFleetStepCancellation cancels the context from the PostRun hook of
+// the first device, mid-shard: Step must return a clean context error and
+// leave the engine's cumulative digest and step counter untouched — no
+// partial fold from the devices that did complete before the cancellation.
+func TestFleetStepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e, err := New(Config{
+		Devices: 4, Shards: 1, Workers: 1,
+		PostRun: func(index int, _ string, _ *core.Framework, _ *core.Report) error {
+			if index == 0 {
+				cancel() // the shard's next device sees ctx.Err()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Step under mid-shard cancel returned %v, want context.Canceled", err)
+	}
+	if e.Digest() != 0 {
+		t.Errorf("digest %#x after cancelled step, want 0 (no partial fold)", e.Digest())
+	}
+	if e.Steps() != 0 {
+		t.Errorf("steps %d after cancelled step, want 0", e.Steps())
+	}
+	// The engine is still usable: a fresh context completes the step.
+	if _, err := e.Step(context.Background()); err != nil {
+		t.Fatalf("Step after recovery: %v", err)
+	}
+	if e.Steps() != 1 || e.Digest() == 0 {
+		t.Errorf("recovered step not folded: steps=%d digest=%#x", e.Steps(), e.Digest())
+	}
+}
+
+// TestFleetMembersMatchRoundRobin pins the dynamic-membership path to the
+// round-robin path: an explicit Members list naming the same mix must
+// reproduce the same digest, and Snapshot must report the placement.
+func TestFleetMembersMatchRoundRobin(t *testing.T) {
+	const devices = 6
+	rr, err := New(Config{Devices: devices, Shards: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrStep, err := rr.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := examplespecs.All()
+	members := make([]Member, devices)
+	for i := range members {
+		members[i] = Member{Name: cases[i%len(cases)].Name, Case: cases[i%len(cases)]}
+	}
+	em, err := New(Config{Members: members, Shards: 3, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emStep, err := em.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emStep.Digest != rrStep.Digest {
+		t.Errorf("Members digest %#x != round-robin digest %#x", emStep.Digest, rrStep.Digest)
+	}
+
+	snap := em.Snapshot()
+	if snap.Steps != 1 || snap.Digest != emStep.Digest {
+		t.Errorf("snapshot counters: %+v", snap)
+	}
+	if len(snap.Devices) != devices {
+		t.Fatalf("snapshot has %d devices, want %d", len(snap.Devices), devices)
+	}
+	for i, d := range snap.Devices {
+		if d.Index != i {
+			t.Errorf("snapshot device %d has index %d (want fold order)", i, d.Index)
+		}
+		if d.Name != members[i].Name {
+			t.Errorf("device %d named %q, want %q", i, d.Name, members[i].Name)
+		}
+		if d.LastDigest == 0 {
+			t.Errorf("device %d has zero last digest after a step", i)
+		}
+	}
+}
+
+// TestFleetPostRunDigestCoverage proves ingestion is not decorative: a
+// PostRun hook injecting one external monitor event into a device changes
+// that device's outcome digest, and injecting the same event at any
+// shard/worker combination changes it identically.
+func TestFleetPostRunDigestCoverage(t *testing.T) {
+	health := examplespecs.All()[0]
+	build := func(shards, workers int, inject bool) uint64 {
+		t.Helper()
+		cfg := Config{
+			Members: []Member{{Name: "a", Case: health}, {Name: "b", Case: health}},
+			Shards:  shards, Workers: workers,
+		}
+		if inject {
+			cfg.PostRun = func(index int, _ string, f *core.Framework, _ *core.Report) error {
+				if index != 0 {
+					return nil
+				}
+				_, _, err := f.InjectEvent(ir.EvStart, "send", 0)
+				return err
+			}
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Digest
+	}
+	plain := build(1, 1, false)
+	injected := build(1, 1, true)
+	if plain == injected {
+		t.Error("injected event did not change the fleet digest")
+	}
+	if d := build(2, 0, true); d != injected {
+		t.Errorf("injected digest %#x at shards=2 differs from serial %#x", d, injected)
+	}
+}
+
 func TestFleetConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("Devices=0 accepted")
@@ -128,5 +261,11 @@ func TestFleetConfigValidation(t *testing.T) {
 	}
 	if e.ShardCount() != 2 {
 		t.Errorf("shards not clamped to device count: %d", e.ShardCount())
+	}
+	if _, err := New(Config{Members: []Member{}}); err == nil {
+		t.Error("empty Members accepted")
+	}
+	if _, err := New(Config{Devices: 3, Members: []Member{{Name: "x", Case: examplespecs.All()[0]}}}); err == nil {
+		t.Error("conflicting Devices and Members accepted")
 	}
 }

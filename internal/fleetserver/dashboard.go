@@ -1,0 +1,72 @@
+package fleetserver
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// dashboardTmpl is the embedded single-page fleet view: registry summary,
+// per-spec breakdown, and the device table, rendered server-side with no
+// external assets so it works from an air-gapped scrape box.
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>artemis-fleet</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #101418; color: #d8dee9; }
+h1 { font-size: 1.2em; } h1 span { color: #88c0d0; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { border: 1px solid #2e3440; padding: 0.25em 0.6em; text-align: right; }
+th { background: #1b2128; } td:first-child, th:first-child { text-align: left; }
+.sum { color: #a3be8c; } .warn { color: #ebcb8b; }
+</style></head><body>
+<h1>artemis-fleet <span>{{.Devices}} devices</span> &middot; {{.Steps}} steps &middot; digest {{printf "%016x" .Digest}}</h1>
+<p class="sum">specs: {{range $i, $s := .Specs}}{{if $i}}, {{end}}{{$s.Name}}&times;{{$s.Count}}{{end}}</p>
+<table>
+<tr><th>device</th><th>spec</th><th>shard</th><th>steps</th><th>reboots</th><th>energy &micro;J</th><th>events</th><th>queue</th><th>violations</th><th>digest</th></tr>
+{{range .Rows}}<tr><td><a href="/v1/devices/{{.ID}}" style="color:#81a1c1">{{.ID}}</a></td><td>{{.Spec}}</td><td>{{.Shard}}</td><td>{{.Steps}}</td><td>{{.Reboots}}</td><td>{{printf "%.1f" .EnergyUJ}}</td><td>{{.EventsDelivered}}</td><td>{{.QueueDepth}}</td><td{{if .Violations}} class="warn"{{end}}>{{len .Violations}}</td><td>{{.LastDigest}}</td></tr>
+{{end}}</table>
+<p>API: POST /v1/devices &middot; POST /v1/events:batch &middot; GET /metrics</p>
+</body></html>
+`))
+
+type specCount struct {
+	Name  string
+	Count int
+}
+
+type dashboardData struct {
+	Devices int
+	Steps   uint64
+	Digest  uint64
+	Specs   []specCount
+	Rows    []DeviceState
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	rows := s.Devices()
+	counts := map[string]int{}
+	for _, d := range rows {
+		counts[d.Spec]++
+	}
+	specs := make([]specCount, 0, len(counts))
+	for name, n := range counts {
+		specs = append(specs, specCount{name, n})
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	// Cap the table so a 10k-device fleet doesn't ship a 10k-row page; the
+	// JSON API serves the full registry.
+	const maxRows = 256
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	data := dashboardData{
+		Devices: s.DeviceCount(),
+		Steps:   s.Steps(),
+		Digest:  s.Digest(),
+		Specs:   specs,
+		Rows:    rows,
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashboardTmpl.Execute(w, data)
+}

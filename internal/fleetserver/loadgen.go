@@ -1,0 +1,141 @@
+package fleetserver
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// LoadgenConfig shapes a synthetic fleet workload.
+type LoadgenConfig struct {
+	// Devices is the fleet size to register (round-robin over the server's
+	// injectable specs); <= 0 means 64.
+	Devices int
+	// Steps is the number of fleet steps to drive; <= 0 means 10.
+	Steps int
+	// EventsPerStep is the batch size ingested before each step; <= 0
+	// means one event per device.
+	EventsPerStep int
+	// Seed makes the synthetic event stream reproducible; 0 means 1.
+	Seed uint64
+}
+
+// LoadgenReport summarises a load-generation run; its rates are the
+// headline fleet-serving throughput numbers.
+type LoadgenReport struct {
+	Devices     int
+	Steps       int
+	DeviceSteps uint64
+	// Accepted/Rejected partition the synthetic events offered; Rejected
+	// counts backpressure hits (full queues), which are expected under
+	// deliberate overload.
+	Accepted uint64
+	Rejected uint64
+	Elapsed  time.Duration
+	// DeviceStepsPerSec and EventsPerSec are the sustained rates.
+	DeviceStepsPerSec float64
+	EventsPerSec      float64
+	// Digest is the engine digest after the run (frozen registry, so it is
+	// reproducible for a given config and seed).
+	Digest uint64
+}
+
+// xorshift64 is the loadgen's deterministic RNG (no math/rand so the stream
+// is pinned across Go versions).
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// RunLoadgen registers a synthetic fleet on s and drives it for the
+// configured number of steps, ingesting a pseudo-random (seeded,
+// reproducible) event batch before each step. The server must not be
+// running its own loop (Start) — the loadgen owns the stepping so the
+// throughput measurement is clean.
+func (s *Server) RunLoadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenReport, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 64
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 10
+	}
+	if cfg.EventsPerStep <= 0 {
+		cfg.EventsPerStep = cfg.Devices
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	// Injectable specs only: loadgen events must never be rejected for
+	// targeting a spec without monitor replicas.
+	var specs []string
+	for _, name := range s.specNames {
+		if s.specs[name].injectable && len(s.specs[name].tasks) > 0 {
+			specs = append(specs, name)
+		}
+	}
+	if len(specs) == 0 {
+		return LoadgenReport{}, fmt.Errorf("fleetserver: no injectable specs for loadgen")
+	}
+	ids := make([]string, cfg.Devices)
+	for i := 0; i < cfg.Devices; i++ {
+		st, err := s.Register("", specs[i%len(specs)])
+		if err != nil {
+			return LoadgenReport{}, fmt.Errorf("fleetserver: loadgen register: %w", err)
+		}
+		ids[i] = st.ID
+	}
+
+	rng := xorshift64(cfg.Seed)
+	rep := LoadgenReport{Devices: cfg.Devices, Steps: cfg.Steps}
+	start := time.Now()
+	for step := 0; step < cfg.Steps; step++ {
+		batch := make([]Event, 0, cfg.EventsPerStep)
+		for len(batch) < cfg.EventsPerStep {
+			dev := ids[rng.next()%uint64(len(ids))]
+			tasks := s.taskNamesFor(dev)
+			task := tasks[rng.next()%uint64(len(tasks))]
+			kind := "start"
+			if rng.next()&1 == 1 {
+				kind = "end"
+			}
+			batch = append(batch, Event{Device: dev, Kind: kind, Task: task, Data: float64(rng.next()%100) / 10})
+		}
+		res, err := s.Ingest(batch)
+		rep.Accepted += uint64(res.Accepted)
+		rep.Rejected += uint64(res.Rejected)
+		if err != nil && res.Accepted == 0 && step == 0 {
+			// Total rejection on the first batch is a configuration error,
+			// not backpressure.
+			return rep, fmt.Errorf("fleetserver: loadgen ingest: %w", err)
+		}
+		if _, err := s.StepOnce(ctx); err != nil {
+			return rep, fmt.Errorf("fleetserver: loadgen step %d: %w", step, err)
+		}
+		rep.DeviceSteps += uint64(cfg.Devices)
+	}
+	rep.Elapsed = time.Since(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.DeviceStepsPerSec = float64(rep.DeviceSteps) / secs
+		rep.EventsPerSec = float64(rep.Accepted) / secs
+	}
+	rep.Digest = s.Digest()
+	return rep, nil
+}
+
+// taskNamesFor returns the task names of a device's spec.
+func (s *Server) taskNamesFor(id string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devices[id]
+	if !ok {
+		return nil
+	}
+	return s.specs[d.spec].tasks
+}
